@@ -1,0 +1,303 @@
+//! Selection of the α-warp task width (§IV-B1).
+//!
+//! The batched SVD kernel assigns each column-pair orthogonalization to
+//! `α · warp` threads with `α ∈ {1, 1/2, 1/4, 1/8}` (i.e. 32/16/8/4 threads
+//! per pair). The paper proposes two selectors:
+//!
+//! 1. a **greatest-common-factor rule**: `β = gcd(m*, 32)`,
+//!    `α = max(4, β)/32`;
+//! 2. a **decision tree** over the features `(m*, μ)` (largest row count,
+//!    batch size) trained on labelled batches whose best α was found by
+//!    practical tests — here, by probing each candidate on the simulator.
+
+use wsvd_gpu_sim::Gpu;
+use wsvd_jacobi::batch::batched_svd_sm;
+use wsvd_jacobi::onesided::OneSidedConfig;
+use wsvd_linalg::generate::random_batch;
+
+/// The four candidate team widths (threads per column pair): α·32.
+pub const TPP_CANDIDATES: [usize; 4] = [4, 8, 16, 32];
+
+/// Method 1: the greatest-common-factor rule.
+///
+/// `β = gcd(m*, 32)`, threads-per-pair `= max(4, β)` (so `α = max(4, β)/32`).
+/// Example from the paper: `m* = 48 → β = 16 → α = 1/2` (16 threads).
+pub fn alpha_gcf(m_star: usize) -> usize {
+    let beta = gcd(m_star.max(1), 32);
+    beta.max(4)
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A labelled training sample for the decision tree.
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaSample {
+    /// Largest row count in the batch (`m*`).
+    pub m_star: usize,
+    /// Batch size (`μ`).
+    pub batch: usize,
+    /// Index into [`TPP_CANDIDATES`] of the empirically best width.
+    pub label: usize,
+}
+
+/// Axis-aligned binary decision tree over `(m*, μ)` with probability-vector
+/// leaves, exactly the structure described in §IV-B1.
+#[derive(Clone, Debug)]
+pub enum DecisionTree {
+    /// Internal node: compare feature `feature` (0 = m*, 1 = μ) against
+    /// `threshold`; `<= threshold` goes left, otherwise right.
+    Node {
+        /// Feature index (0 = `m*`, 1 = `μ`).
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left subtree (`<= threshold`).
+        left: Box<DecisionTree>,
+        /// Right subtree (`> threshold`).
+        right: Box<DecisionTree>,
+    },
+    /// Leaf: probabilities over the four α candidates.
+    Leaf {
+        /// `probs[k]` is the fraction of training samples at this leaf whose
+        /// best width was `TPP_CANDIDATES[k]`.
+        probs: [f64; 4],
+    },
+}
+
+impl DecisionTree {
+    /// Trains a tree with Gini-impurity splits (depth-limited CART).
+    pub fn train(samples: &[AlphaSample], max_depth: usize) -> Self {
+        assert!(!samples.is_empty(), "cannot train on an empty set");
+        Self::build(samples, max_depth)
+    }
+
+    fn build(samples: &[AlphaSample], depth: usize) -> Self {
+        let counts = class_counts(samples);
+        if depth == 0 || samples.len() < 4 || counts.iter().filter(|&&c| c > 0).count() <= 1 {
+            return Self::leaf(&counts, samples.len());
+        }
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        for feature in 0..2 {
+            let mut values: Vec<f64> = samples.iter().map(|s| feat(s, feature)).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.dedup();
+            for w in values.windows(2) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (l, r): (Vec<_>, Vec<_>) =
+                    samples.iter().partition(|s| feat(s, feature) <= threshold);
+                if l.is_empty() || r.is_empty() {
+                    continue;
+                }
+                let g = weighted_gini(&l, &r);
+                if best.is_none_or(|(_, _, bg)| g < bg) {
+                    best = Some((feature, threshold, g));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, _)) => {
+                let (l, r): (Vec<AlphaSample>, Vec<AlphaSample>) =
+                    samples.iter().partition(|s| feat(s, feature) <= threshold);
+                DecisionTree::Node {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::build(&l, depth - 1)),
+                    right: Box::new(Self::build(&r, depth - 1)),
+                }
+            }
+            None => Self::leaf(&counts, samples.len()),
+        }
+    }
+
+    fn leaf(counts: &[usize; 4], total: usize) -> Self {
+        let mut probs = [0.0; 4];
+        if total > 0 {
+            for k in 0..4 {
+                probs[k] = counts[k] as f64 / total as f64;
+            }
+        }
+        DecisionTree::Leaf { probs }
+    }
+
+    /// Probability vector over the four candidates for a batch.
+    pub fn predict_proba(&self, m_star: usize, batch: usize) -> [f64; 4] {
+        match self {
+            DecisionTree::Leaf { probs } => *probs,
+            DecisionTree::Node { feature, threshold, left, right } => {
+                let x = if *feature == 0 { m_star as f64 } else { batch as f64 };
+                if x <= *threshold {
+                    left.predict_proba(m_star, batch)
+                } else {
+                    right.predict_proba(m_star, batch)
+                }
+            }
+        }
+    }
+
+    /// Threads-per-pair prediction (argmax of the leaf probabilities).
+    pub fn predict(&self, m_star: usize, batch: usize) -> usize {
+        let p = self.predict_proba(m_star, batch);
+        let mut best = 0;
+        for k in 1..4 {
+            if p[k] > p[best] {
+                best = k;
+            }
+        }
+        TPP_CANDIDATES[best]
+    }
+
+    /// Number of decision nodes (for sanity checks).
+    pub fn node_count(&self) -> usize {
+        match self {
+            DecisionTree::Leaf { .. } => 0,
+            DecisionTree::Node { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+}
+
+fn feat(s: &AlphaSample, feature: usize) -> f64 {
+    if feature == 0 {
+        s.m_star as f64
+    } else {
+        s.batch as f64
+    }
+}
+
+fn class_counts(samples: &[AlphaSample]) -> [usize; 4] {
+    let mut c = [0usize; 4];
+    for s in samples {
+        c[s.label] += 1;
+    }
+    c
+}
+
+fn gini(counts: &[usize; 4], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut g = 1.0;
+    for &c in counts {
+        let p = c as f64 / total as f64;
+        g -= p * p;
+    }
+    g
+}
+
+fn weighted_gini(l: &[&AlphaSample], r: &[&AlphaSample]) -> f64 {
+    let lo: Vec<AlphaSample> = l.iter().map(|s| **s).collect();
+    let ro: Vec<AlphaSample> = r.iter().map(|s| **s).collect();
+    let (cl, cr) = (class_counts(&lo), class_counts(&ro));
+    let (nl, nr) = (lo.len(), ro.len());
+    let n = (nl + nr) as f64;
+    gini(&cl, nl) * nl as f64 / n + gini(&cr, nr) * nr as f64 / n
+}
+
+/// Finds the empirically best width for a batch shape by probing all four
+/// candidates on the simulator (one single-sweep launch each) — the
+/// "practical tests" used to label the paper's training set.
+pub fn measure_best_tpp(gpu: &Gpu, m_star: usize, batch: usize, seed: u64) -> usize {
+    let n = m_star.min(16).max(2);
+    let mats = random_batch(batch, m_star, n, seed);
+    let mut best = (f64::INFINITY, TPP_CANDIDATES[0]);
+    for &tpp in &TPP_CANDIDATES {
+        let cfg = OneSidedConfig { threads_per_pair: tpp, max_sweeps: 1, tol: 0.0, ..Default::default() };
+        if let Ok((_, stats)) = batched_svd_sm(gpu, &mats, &cfg, 128) {
+            if stats.kernel_seconds < best.0 {
+                best = (stats.kernel_seconds, tpp);
+            }
+        }
+    }
+    best.1
+}
+
+/// Generates a labelled training set by probing a grid of batch shapes.
+pub fn generate_training_set(gpu: &Gpu, seed: u64) -> Vec<AlphaSample> {
+    let mut samples = Vec::new();
+    for (i, &m_star) in [8usize, 16, 24, 32, 48, 64].iter().enumerate() {
+        for (jj, &batch) in [1usize, 4, 16, 64, 200].iter().enumerate() {
+            let tpp = measure_best_tpp(gpu, m_star, batch, seed + (i * 10 + jj) as u64);
+            let label = TPP_CANDIDATES.iter().position(|&c| c == tpp).unwrap();
+            samples.push(AlphaSample { m_star, batch, label });
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsvd_gpu_sim::V100;
+
+    #[test]
+    fn gcf_rule_paper_example() {
+        // m* = 48: β = gcd(48, 32) = 16 → 16 threads per pair (α = 1/2).
+        assert_eq!(alpha_gcf(48), 16);
+    }
+
+    #[test]
+    fn gcf_rule_various() {
+        assert_eq!(alpha_gcf(32), 32); // β = 32 → full warp
+        assert_eq!(alpha_gcf(64), 32);
+        assert_eq!(alpha_gcf(8), 8);
+        assert_eq!(alpha_gcf(7), 4); // β = 1 → clamped to 4
+        assert_eq!(alpha_gcf(100), 4);
+    }
+
+    #[test]
+    fn tree_learns_separable_labels() {
+        // Synthetic rule: small m* -> 4 threads, large m* -> 32 threads.
+        let mut samples = Vec::new();
+        for m in [4usize, 8, 12, 16] {
+            for b in [1usize, 10, 100] {
+                samples.push(AlphaSample { m_star: m, batch: b, label: 0 });
+            }
+        }
+        for m in [64usize, 128, 256] {
+            for b in [1usize, 10, 100] {
+                samples.push(AlphaSample { m_star: m, batch: b, label: 3 });
+            }
+        }
+        let tree = DecisionTree::train(&samples, 4);
+        assert_eq!(tree.predict(8, 50), 4);
+        assert_eq!(tree.predict(128, 50), 32);
+        assert!(tree.node_count() >= 1);
+    }
+
+    #[test]
+    fn tree_probabilities_sum_to_one() {
+        let samples = vec![
+            AlphaSample { m_star: 8, batch: 1, label: 0 },
+            AlphaSample { m_star: 8, batch: 2, label: 1 },
+            AlphaSample { m_star: 64, batch: 1, label: 3 },
+            AlphaSample { m_star: 64, batch: 2, label: 3 },
+        ];
+        let tree = DecisionTree::train(&samples, 3);
+        let p = tree.predict_proba(8, 1);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_labels_prefer_wide_teams_for_small_batches() {
+        // With one matrix, block-level parallelism is nil, so wide teams
+        // (short span) must win over 4-thread teams.
+        let gpu = Gpu::new(V100);
+        let best = measure_best_tpp(&gpu, 64, 1, 5);
+        assert!(best >= 8, "expected wide team for batch=1, got {best}");
+    }
+
+    #[test]
+    fn training_set_covers_grid_and_trains() {
+        let gpu = Gpu::new(V100);
+        let set = generate_training_set(&gpu, 7);
+        assert_eq!(set.len(), 30);
+        let tree = DecisionTree::train(&set, 4);
+        let tpp = tree.predict(48, 100);
+        assert!(TPP_CANDIDATES.contains(&tpp));
+    }
+}

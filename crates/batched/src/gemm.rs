@@ -1,0 +1,350 @@
+//! Batched GEMM kernels: the two products at every W-cycle level.
+//!
+//! At Level *h* the workflow needs (§IV-D):
+//! 1. the **Gram** batched GEMM `B_ij = A_ij^T A_ij`, and
+//! 2. the **update** batched GEMM `Â_ij = A_ij J_ij`.
+//!
+//! Two execution strategies are provided:
+//! * [`GemmStrategy::OneBlockPerGemm`] — the "common way" (one thread block
+//!   per GEMM task), which starves the device when the batch is small or
+//!   the matrices are skinny (Challenge 2);
+//! * [`GemmStrategy::Tailored`] — the paper's tailoring strategy: each
+//!   `A_ij` is cut into standard-plate segments of `δ_h` rows, one segment
+//!   per block; residual segments are packed into shared blocks until their
+//!   rows exceed `1.2 δ_h`; Gram partials from the segments of one GEMM are
+//!   then reduced in a second kernel (Fig. 6).
+
+use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError, LaunchStats};
+use wsvd_linalg::gemm::{gram, matmul};
+use wsvd_linalg::Matrix;
+
+use crate::models::TailorPlan;
+
+/// Residual-packing headroom factor (§IV-D1, "an empirical parameter 1.2δ").
+const RESIDUAL_PACK_FACTOR: f64 = 1.2;
+
+/// How a batched GEMM is mapped onto thread blocks.
+#[derive(Clone, Copy, Debug)]
+pub enum GemmStrategy {
+    /// One thread block per GEMM task (the baseline mapping).
+    OneBlockPerGemm {
+        /// Threads per block.
+        threads: usize,
+    },
+    /// The tailoring strategy with a standard plate of `delta x 2w`.
+    Tailored(TailorPlan),
+}
+
+/// A row-range of one GEMM task assigned to a thread block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Index of the GEMM task (the pair block) this segment belongs to.
+    pub gemm: usize,
+    /// First row of the segment.
+    pub row_start: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+/// Work assignment of the tailoring strategy: each inner `Vec` is the
+/// segment list of one thread block.
+pub fn tailor_assignment(row_counts: &[usize], delta: usize) -> Vec<Vec<Segment>> {
+    let delta = delta.max(1);
+    let mut blocks: Vec<Vec<Segment>> = Vec::new();
+    let mut residuals: Vec<Segment> = Vec::new();
+    for (g, &m) in row_counts.iter().enumerate() {
+        let full = m / delta;
+        for s in 0..full {
+            blocks.push(vec![Segment { gemm: g, row_start: s * delta, rows: delta }]);
+        }
+        let rem = m - full * delta;
+        if rem > 0 {
+            residuals.push(Segment { gemm: g, row_start: full * delta, rows: rem });
+        }
+    }
+    // Pack residual segments into shared blocks until 1.2δ rows are reached.
+    let cap = (RESIDUAL_PACK_FACTOR * delta as f64) as usize;
+    let mut current: Vec<Segment> = Vec::new();
+    let mut current_rows = 0usize;
+    for seg in residuals {
+        current_rows += seg.rows;
+        current.push(seg);
+        if current_rows > cap {
+            blocks.push(std::mem::take(&mut current));
+            current_rows = 0;
+        }
+    }
+    if !current.is_empty() {
+        blocks.push(current);
+    }
+    blocks
+}
+
+/// Batched Gram products `B_k = A_k^T A_k`.
+///
+/// Returns one `n_k x n_k` Gram matrix per input block plus the launch
+/// statistics (tailored mode performs two launches; stats are summed).
+pub fn batched_gram(
+    gpu: &Gpu,
+    blocks: &[Matrix],
+    strategy: GemmStrategy,
+) -> Result<(Vec<Matrix>, LaunchStats), KernelError> {
+    match strategy {
+        GemmStrategy::OneBlockPerGemm { threads } => {
+            let kc = gemm_cfg(gpu, blocks.len(), threads, "batched_gram");
+            gpu.launch_collect(kc, |b, ctx| {
+                let a = &blocks[b];
+                let (m, n) = a.shape();
+                ctx.count_gm_load(m * n);
+                ctx.par_step(n * n, 2 * m as u64);
+                ctx.count_gm_store(n * n);
+                Ok(gram(a))
+            })
+        }
+        GemmStrategy::Tailored(plan) => {
+            let rows: Vec<usize> = blocks.iter().map(|b| b.rows()).collect();
+            let assignment = tailor_assignment(&rows, plan.delta);
+            // When δ >= every row count, each GEMM is exactly one segment:
+            // no partials exist and the reduction launch is skipped.
+            let single_segment = assignment
+                .iter()
+                .all(|b| b.len() == 1 && b[0].rows == rows[b[0].gemm]);
+            let kc = gemm_cfg(gpu, assignment.len(), plan.threads, "tailored_gram_partial");
+            let (partials, stats1) = gpu.launch_collect(kc, |b, ctx| {
+                let mut out: Vec<(usize, Matrix)> = Vec::with_capacity(assignment[b].len());
+                for seg in &assignment[b] {
+                    let a = &blocks[seg.gemm];
+                    let n = a.cols();
+                    let sub = a.sub_matrix(seg.row_start, 0, seg.rows, n);
+                    ctx.count_gm_load(seg.rows * n);
+                    ctx.par_step(n * n, 2 * seg.rows as u64);
+                    ctx.count_gm_store(n * n); // result (or partial) to GM
+                    out.push((seg.gemm, gram(&sub)));
+                }
+                Ok(out)
+            })?;
+            if single_segment {
+                let mut grams: Vec<Option<Matrix>> = (0..blocks.len()).map(|_| None).collect();
+                for block_out in partials {
+                    for (g, p) in block_out {
+                        grams[g] = Some(p);
+                    }
+                }
+                let grams = grams.into_iter().map(|g| g.expect("one segment per gemm")).collect();
+                return Ok((grams, stats1));
+            }
+
+            // Gather partials per GEMM and reduce.
+            let mut per_gemm: Vec<Vec<Matrix>> = (0..blocks.len()).map(|_| Vec::new()).collect();
+            for block_out in partials {
+                for (g, p) in block_out {
+                    per_gemm[g].push(p);
+                }
+            }
+            let kc2 = gemm_cfg(gpu, blocks.len(), plan.threads, "tailored_gram_reduce");
+            let (grams, stats2) = gpu.launch_collect(kc2, |g, ctx| {
+                let parts = &per_gemm[g];
+                let n = blocks[g].cols();
+                let mut acc = Matrix::zeros(n, n);
+                ctx.count_gm_load(parts.len() * n * n);
+                for p in parts {
+                    for (dst, src) in acc.as_mut_slice().iter_mut().zip(p.as_slice()) {
+                        *dst += src;
+                    }
+                }
+                ctx.par_step(n * n, parts.len().max(1) as u64);
+                ctx.count_gm_store(n * n);
+                Ok(acc)
+            })?;
+            Ok((grams, merge_stats(stats1, stats2)))
+        }
+    }
+}
+
+/// Batched right-updates `A_k <- A_k J_k` in place.
+pub fn batched_update(
+    gpu: &Gpu,
+    blocks: &mut [Matrix],
+    rotations: &[Matrix],
+    strategy: GemmStrategy,
+) -> Result<LaunchStats, KernelError> {
+    assert_eq!(blocks.len(), rotations.len());
+    match strategy {
+        GemmStrategy::OneBlockPerGemm { threads } => {
+            let kc = gemm_cfg(gpu, blocks.len(), threads, "batched_update");
+            let stats = gpu.launch_over(kc, blocks, |b, a, ctx| {
+                let (m, n) = a.shape();
+                let j = &rotations[b];
+                assert_eq!(j.rows(), n);
+                ctx.count_gm_load(m * n + n * n);
+                ctx.par_step(m * n, 2 * n as u64);
+                ctx.count_gm_store(m * n);
+                *a = matmul(a, j);
+                Ok(())
+            })?;
+            Ok(stats)
+        }
+        GemmStrategy::Tailored(plan) => {
+            let rows: Vec<usize> = blocks.iter().map(|b| b.rows()).collect();
+            let assignment = tailor_assignment(&rows, plan.delta);
+            let kc = gemm_cfg(gpu, assignment.len(), plan.threads, "tailored_update");
+            let (updated, stats) = gpu.launch_collect(kc, |b, ctx| {
+                let mut out = Vec::with_capacity(assignment[b].len());
+                for seg in &assignment[b] {
+                    let a = &blocks[seg.gemm];
+                    let n = a.cols();
+                    let j = &rotations[seg.gemm];
+                    let sub = a.sub_matrix(seg.row_start, 0, seg.rows, n);
+                    ctx.count_gm_load(seg.rows * n + n * n);
+                    ctx.par_step(seg.rows * n, 2 * n as u64);
+                    ctx.count_gm_store(seg.rows * n);
+                    out.push((*seg, matmul(&sub, j)));
+                }
+                Ok(out)
+            })?;
+            // The segments write disjoint row ranges; materialize that here.
+            for block_out in updated {
+                for (seg, m) in block_out {
+                    blocks[seg.gemm].set_sub_matrix(seg.row_start, 0, &m);
+                }
+            }
+            Ok(stats)
+        }
+    }
+}
+
+fn gemm_cfg(gpu: &Gpu, grid: usize, threads: usize, label: &'static str) -> KernelConfig {
+    let mut kc = KernelConfig::new(grid, threads, 16 * 1024, label);
+    kc.uses_tensor_cores = gpu.device().tensor_gemm_speedup > 1.0;
+    kc
+}
+
+fn merge_stats(a: LaunchStats, b: LaunchStats) -> LaunchStats {
+    let mut totals = a.totals;
+    totals.merge(&b.totals);
+    LaunchStats {
+        grid: a.grid + b.grid,
+        threads_per_block: a.threads_per_block,
+        smem_bytes_per_block: a.smem_bytes_per_block,
+        totals,
+        kernel_seconds: a.kernel_seconds + b.kernel_seconds,
+        overhead_seconds: a.overhead_seconds + b.overhead_seconds,
+        occupancy: a.occupancy.max(b.occupancy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsvd_gpu_sim::V100;
+    use wsvd_linalg::generate::random_batch;
+
+    fn plan(w: usize, delta: usize) -> GemmStrategy {
+        GemmStrategy::Tailored(TailorPlan::new(w, delta, 256))
+    }
+
+    #[test]
+    fn tailor_assignment_splits_rows() {
+        // One 100-row GEMM at δ=32: 3 standard segments + 1 residual (4 rows).
+        let a = tailor_assignment(&[100], 32);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], vec![Segment { gemm: 0, row_start: 0, rows: 32 }]);
+        assert_eq!(a[3], vec![Segment { gemm: 0, row_start: 96, rows: 4 }]);
+    }
+
+    #[test]
+    fn tailor_assignment_packs_residuals() {
+        // Four GEMMs of 40 rows at δ=32: 4 standard + residuals of 8 rows
+        // each; cap = 38.4 rows, so residuals pack 5-at-a-time (8*5=40>38).
+        let a = tailor_assignment(&[40, 40, 40, 40], 32);
+        let standard = a.iter().filter(|b| b.len() == 1 && b[0].rows == 32).count();
+        assert_eq!(standard, 4);
+        let packed: Vec<_> = a.iter().filter(|b| b[0].rows != 32).collect();
+        assert_eq!(packed.len(), 1, "all four 8-row residuals share one block");
+        assert_eq!(packed[0].len(), 4);
+    }
+
+    #[test]
+    fn tailor_assignment_delta_at_least_rows_gives_one_block_per_gemm() {
+        let a = tailor_assignment(&[64, 64], 64);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn gram_strategies_agree_numerically() {
+        let gpu = Gpu::new(V100);
+        let blocks = random_batch(5, 48, 16, 3);
+        let (plain, _) =
+            batched_gram(&gpu, &blocks, GemmStrategy::OneBlockPerGemm { threads: 256 }).unwrap();
+        let (tailored, _) = batched_gram(&gpu, &blocks, plan(8, 16)).unwrap();
+        for (p, t) in plain.iter().zip(&tailored) {
+            assert!(p.sub(t).max_abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn update_strategies_agree_numerically() {
+        let gpu = Gpu::new(V100);
+        let mut b1 = random_batch(4, 40, 8, 5);
+        let mut b2 = b1.clone();
+        let js: Vec<Matrix> = (0..4)
+            .map(|k| wsvd_linalg::householder::seeded_orthogonal(8, k as u64 + 1))
+            .collect();
+        batched_update(&gpu, &mut b1, &js, GemmStrategy::OneBlockPerGemm { threads: 256 })
+            .unwrap();
+        batched_update(&gpu, &mut b2, &js, plan(4, 16)).unwrap();
+        for (x, y) in b1.iter().zip(&b2) {
+            assert!(x.sub(y).max_abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tailoring_helps_small_batches_of_tall_gemms() {
+        // 2 tall GEMMs: one block each starves the device; 16 segments fill it.
+        let gpu = Gpu::new(V100);
+        let blocks = random_batch(2, 2048, 16, 7);
+        let (_, plain) =
+            batched_gram(&gpu, &blocks, GemmStrategy::OneBlockPerGemm { threads: 256 }).unwrap();
+        let (_, tailored) = batched_gram(&gpu, &blocks, plan(8, 128)).unwrap();
+        assert!(
+            tailored.kernel_seconds < plain.kernel_seconds,
+            "tailored {} !< plain {}",
+            tailored.kernel_seconds,
+            plain.kernel_seconds
+        );
+    }
+
+    #[test]
+    fn gram_result_is_correct_gram() {
+        let gpu = Gpu::new(V100);
+        let blocks = random_batch(3, 20, 6, 11);
+        let (grams, _) = batched_gram(&gpu, &blocks, plan(4, 8)).unwrap();
+        for (a, g) in blocks.iter().zip(&grams) {
+            assert!(g.sub(&wsvd_linalg::gram(a)).max_abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn update_applies_rotation() {
+        let gpu = Gpu::new(V100);
+        let mut blocks = random_batch(1, 10, 4, 13);
+        let orig = blocks[0].clone();
+        let j = wsvd_linalg::householder::seeded_orthogonal(4, 9);
+        batched_update(&gpu, &mut blocks, &[j.clone()], plan(4, 4)).unwrap();
+        assert!(blocks[0].sub(&matmul(&orig, &j)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_row_counts_are_handled() {
+        let gpu = Gpu::new(V100);
+        let blocks = vec![
+            wsvd_linalg::generate::random_uniform(33, 8, 1),
+            wsvd_linalg::generate::random_uniform(64, 8, 2),
+            wsvd_linalg::generate::random_uniform(7, 8, 3),
+        ];
+        let (grams, _) = batched_gram(&gpu, &blocks, plan(4, 16)).unwrap();
+        for (a, g) in blocks.iter().zip(&grams) {
+            assert!(g.sub(&wsvd_linalg::gram(a)).max_abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # wsvd-batched
+//!
+//! The batched-GEMM layer of the W-cycle SVD: the two GEMM shapes at every
+//! level (Gram `B_ij = A_ij^T A_ij` and update `Â_ij = A_ij J_ij`), the
+//! tailoring strategy that splits GEMM tasks into standard-plate segments
+//! across thread blocks (§IV-D1), the TLP/AI performance models (Eqs. 8–9),
+//! the auto-tuning engine that resolves the multi-objective program of
+//! Eq. (10) (§IV-D3), and the α-warp selectors of §IV-B1 (GCF rule and the
+//! trained decision tree).
+
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod autotune;
+pub mod gemm;
+pub mod models;
+
+pub use alpha::{alpha_gcf, DecisionTree, TPP_CANDIDATES};
+pub use autotune::{auto_tune, auto_tune_with_w_cap, calibrate_threshold, candidate_plans, V100_TLP_THRESHOLD};
+pub use gemm::{batched_gram, batched_update, tailor_assignment, GemmStrategy, Segment};
+pub use models::{ai_gram, ai_update, tlp, TailorPlan};

@@ -1,0 +1,103 @@
+//! Performance models of the tailoring strategy (§IV-D2).
+//!
+//! Two quantitative indices drive the auto-tuning engine:
+//! * **TLP** (Eq. 8): the number of threads deployed for a batched GEMM with
+//!   a `δ_h x 2w_h` standard plate and `T_h` threads per block;
+//! * **AI** (Eq. 9): arithmetic intensity — FMA instructions per load
+//!   instruction — for the Gram GEMM (`AI_1`) and the update GEMM (`AI_2`).
+
+/// A tailoring plan: the standard-plate geometry and block size
+/// (`(w_h, δ_h, T_h)` rows of Tables II/III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TailorPlan {
+    /// Column-block half-width `w_h` (pair blocks have `2w_h` columns).
+    pub w: usize,
+    /// Standard-plate height `δ_h` (rows per segment).
+    pub delta: usize,
+    /// Threads per thread block `T_h`.
+    pub threads: usize,
+}
+
+impl TailorPlan {
+    /// Creates a plan, clamping degenerate values.
+    pub fn new(w: usize, delta: usize, threads: usize) -> Self {
+        Self { w: w.max(1), delta: delta.max(1), threads: threads.max(1) }
+    }
+}
+
+/// Thread-level parallelism of both batched GEMMs (Eq. 8):
+/// `TLP = Σ_k (n_k · m_k) / (2 w · δ) · T`.
+///
+/// `sizes` are the `(m_k, n_k)` dimensions of the level's matrices.
+pub fn tlp(plan: &TailorPlan, sizes: &[(usize, usize)]) -> f64 {
+    let t = plan.threads as f64;
+    let denom = (2 * plan.w * plan.delta) as f64;
+    sizes.iter().map(|&(m, n)| (n as f64 * m as f64) / denom * t).sum()
+}
+
+/// Arithmetic intensity of the Gram GEMM (Eq. 9, first line):
+/// `AI_1 = Load_width · 2w`.
+pub fn ai_gram(plan: &TailorPlan, load_width: usize) -> f64 {
+    load_width as f64 * (2 * plan.w) as f64
+}
+
+/// Arithmetic intensity of the update GEMM (Eq. 9, second line):
+/// `AI_2 = Load_width · (2w · δ) / (2w + δ)`.
+pub fn ai_update(plan: &TailorPlan, load_width: usize) -> f64 {
+    let two_w = (2 * plan.w) as f64;
+    let d = plan.delta as f64;
+    load_width as f64 * (two_w * d) / (two_w + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_f1_values() {
+        // §IV-D3 example: 100 matrices of 256x256, threshold search.
+        let sizes = vec![(256usize, 256usize); 100];
+        // First candidate (w=48, δ=256, T=256): f1 = 68,267.
+        let p1 = TailorPlan::new(48, 256, 256);
+        assert!((tlp(&p1, &sizes) - 68_266.7).abs() < 1.0, "got {}", tlp(&p1, &sizes));
+        // Fourth candidate (w=16, δ=128, T=256): f1 = 409,600.
+        let p4 = TailorPlan::new(16, 128, 256);
+        assert!((tlp(&p4, &sizes) - 409_600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tlp_decreases_with_plate_size() {
+        let sizes = vec![(512, 512); 10];
+        let small = TailorPlan::new(8, 32, 256);
+        let large = TailorPlan::new(48, 512, 256);
+        assert!(tlp(&small, &sizes) > tlp(&large, &sizes));
+    }
+
+    #[test]
+    fn ai_gram_linear_in_w() {
+        let a = ai_gram(&TailorPlan::new(8, 64, 256), 4);
+        let b = ai_gram(&TailorPlan::new(16, 64, 256), 4);
+        assert_eq!(b, 2.0 * a);
+        assert_eq!(a, 4.0 * 16.0);
+    }
+
+    #[test]
+    fn ai_update_is_harmonic_mean_like() {
+        // AI_2 < min(AI from width, AI from height) scaled: bounded by both.
+        let p = TailorPlan::new(16, 128, 256);
+        let ai2 = ai_update(&p, 4);
+        assert!(ai2 < ai_gram(&p, 4));
+        assert!(ai2 > 0.0);
+        // Symmetric in 2w and δ.
+        let q = TailorPlan::new(64, 32, 256); // 2w=128, δ=32
+        assert!((ai_update(&q, 4) - ai_update(&TailorPlan::new(16, 128, 256), 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tlp_scales_with_batch() {
+        let p = TailorPlan::new(16, 64, 256);
+        let one = tlp(&p, &[(128, 128)]);
+        let ten = tlp(&p, &[(128, 128); 10]);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the computational kernels (host wall-clock
+//! of this implementation; the paper-shaped *simulated-time* comparisons
+//! live in the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wsvd_batched::gemm::{batched_gram, batched_update, GemmStrategy};
+use wsvd_batched::models::TailorPlan;
+use wsvd_gpu_sim::{Gpu, V100};
+use wsvd_jacobi::batch::{batched_evd_sm, batched_svd_sm};
+use wsvd_jacobi::evd::{EvdConfig, EvdVariant};
+use wsvd_jacobi::onesided::OneSidedConfig;
+use wsvd_linalg::generate::{random_batch, random_symmetric};
+use wsvd_linalg::householder::seeded_orthogonal;
+use wsvd_linalg::{gram, matmul, Matrix};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[32usize, 64, 128] {
+        let a = wsvd_linalg::generate::random_uniform(n, n, 1);
+        let b = wsvd_linalg::generate::random_uniform(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("gram", n), &n, |bch, _| {
+            bch.iter(|| gram(std::hint::black_box(&a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_batched_gemm_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_gemm");
+    let blocks = random_batch(16, 256, 16, 3);
+    let js: Vec<Matrix> = (0..16).map(|k| seeded_orthogonal(16, k as u64)).collect();
+    g.bench_function("gram_one_block_per_gemm", |b| {
+        let gpu = Gpu::new(V100);
+        b.iter(|| batched_gram(&gpu, &blocks, GemmStrategy::OneBlockPerGemm { threads: 256 }).unwrap())
+    });
+    g.bench_function("gram_tailored", |b| {
+        let gpu = Gpu::new(V100);
+        let plan = GemmStrategy::Tailored(TailorPlan::new(8, 64, 256));
+        b.iter(|| batched_gram(&gpu, &blocks, plan).unwrap())
+    });
+    g.bench_function("update_tailored", |b| {
+        let gpu = Gpu::new(V100);
+        let plan = GemmStrategy::Tailored(TailorPlan::new(8, 64, 256));
+        b.iter_batched(
+            || blocks.clone(),
+            |mut blk| batched_update(&gpu, &mut blk, &js, plan).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sm_svd_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sm_svd_kernel");
+    for &n in &[16usize, 32] {
+        let mats = random_batch(8, n, n, n as u64);
+        g.bench_with_input(BenchmarkId::new("cached_norms", n), &n, |b, _| {
+            let gpu = Gpu::new(V100);
+            b.iter(|| batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("no_cache", n), &n, |b, _| {
+            let gpu = Gpu::new(V100);
+            let cfg = OneSidedConfig { cache_norms: false, ..Default::default() };
+            b.iter(|| batched_svd_sm(&gpu, &mats, &cfg, 128).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_evd_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evd_kernel");
+    let mats: Vec<Matrix> = (0..8).map(|k| random_symmetric(32, k as u64)).collect();
+    for (label, variant) in [("parallel", EvdVariant::Parallel), ("sequential", EvdVariant::Sequential)] {
+        g.bench_function(label, |b| {
+            let gpu = Gpu::new(V100);
+            let cfg = EvdConfig { variant, ..Default::default() };
+            b.iter(|| batched_evd_sm(&gpu, &mats, &cfg, 256).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_reference_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reference_two_stage_svd");
+    for &n in &[32usize, 64, 128] {
+        let a = wsvd_linalg::generate::random_uniform(n, n, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| wsvd_linalg::svd_reference(std::hint::black_box(&a)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_batched_gemm_strategies, bench_sm_svd_kernel,
+              bench_evd_kernels, bench_reference_svd
+}
+criterion_main!(kernels);

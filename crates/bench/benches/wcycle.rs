@@ -1,0 +1,64 @@
+//! Criterion macro-benchmarks: the full W-cycle against the baselines
+//! (host wall-clock of this implementation — regression tracking for the
+//! numerics; paper-shaped simulated-time comparisons live in `repro`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wsvd_baselines::{batched_dp_gram, cusolver_batched_svd, magma_batched_svd};
+use wsvd_core::{wcycle_svd, Tuning, WCycleConfig};
+use wsvd_gpu_sim::{Gpu, V100};
+use wsvd_linalg::generate::random_batch;
+
+fn bench_wcycle_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wcycle_svd");
+    for &n in &[16usize, 48, 96] {
+        let mats = random_batch(4, n, n, n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let gpu = Gpu::new(V100);
+            b.iter(|| wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines_64x64_batch4");
+    let mats = random_batch(4, 64, 64, 9);
+    g.bench_function("wcycle", |b| {
+        let gpu = Gpu::new(V100);
+        b.iter(|| wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap())
+    });
+    g.bench_function("dp_gram", |b| {
+        let gpu = Gpu::new(V100);
+        b.iter(|| batched_dp_gram(&gpu, &mats).unwrap())
+    });
+    g.bench_function("cusolver_like", |b| {
+        let gpu = Gpu::new(V100);
+        b.iter(|| cusolver_batched_svd(&gpu, &mats).unwrap())
+    });
+    g.bench_function("magma_like", |b| {
+        let gpu = Gpu::new(V100);
+        b.iter(|| magma_batched_svd(&gpu, &mats).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_width_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("width_schedule_96x96");
+    let mats = random_batch(2, 96, 96, 5);
+    for &w in &[8usize, 16, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            let gpu = Gpu::new(V100);
+            let cfg = WCycleConfig { tuning: Tuning::Widths(vec![w]), ..Default::default() };
+            b.iter(|| wcycle_svd(&gpu, &mats, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = wcycle;
+    config = Criterion::default().sample_size(10);
+    targets = bench_wcycle_sizes, bench_engines, bench_width_schedules
+}
+criterion_main!(wcycle);

@@ -1,0 +1,108 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//!   repro --list
+//!   repro <id> [<id> ...] [--scale reduced|full] [--json DIR]
+//!   repro --all [--scale reduced|full] [--json DIR]
+//!   repro --check DIR [<id> ...]     # regression-compare against stored JSON
+//! ```
+
+use std::io::Write;
+use wsvd_bench::{all_experiments, Report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Reduced;
+    let mut json_dir: Option<String> = None;
+    let mut check_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut run_all = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                for (id, _) in all_experiments() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--all" => run_all = true,
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => json_dir = Some(it.next().expect("--json needs a directory")),
+            "--check" => check_dir = Some(it.next().expect("--check needs a directory")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    let experiments = all_experiments();
+    if run_all {
+        ids = experiments.iter().map(|(id, _)| id.to_string()).collect();
+    }
+    // Regression mode: re-run and compare against stored baselines.
+    if let Some(dir) = check_dir {
+        if ids.is_empty() {
+            ids = experiments
+                .iter()
+                .map(|(id, _)| id.to_string())
+                .filter(|id| std::path::Path::new(&format!("{dir}/{id}.json")).exists())
+                .collect();
+        }
+        let mut failed = 0usize;
+        for id in &ids {
+            let Some((_, f)) = experiments.iter().find(|(e, _)| e == id) else {
+                eprintln!("unknown experiment '{id}'");
+                std::process::exit(2);
+            };
+            let path = format!("{dir}/{id}.json");
+            let Ok(stored) = std::fs::read_to_string(&path) else {
+                println!("{id:>12}  SKIP (no baseline at {path})");
+                continue;
+            };
+            let baseline: Report = serde_json::from_str(&stored).expect("baseline parse");
+            let fresh = f(scale);
+            match fresh.diff(&baseline) {
+                None => println!("{id:>12}  PASS"),
+                Some(d) => {
+                    println!("{id:>12}  DIFF: {d}");
+                    failed += 1;
+                }
+            }
+        }
+        std::process::exit(if failed > 0 { 1 } else { 0 });
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro --all | <id>... [--scale reduced|full] [--json DIR]");
+        eprintln!("known ids:");
+        for (id, _) in &experiments {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    }
+    let mut reports: Vec<Report> = Vec::new();
+    for id in &ids {
+        let Some((_, f)) = experiments.iter().find(|(e, _)| e == id) else {
+            eprintln!("unknown experiment '{id}' (try --list)");
+            std::process::exit(2);
+        };
+        let start = std::time::Instant::now();
+        let rep = f(scale);
+        println!("{}", rep.render());
+        println!("   (regenerated in {:.1} s wall-clock)\n", start.elapsed().as_secs_f64());
+        reports.push(rep);
+    }
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json dir");
+        for rep in &reports {
+            let path = format!("{dir}/{}.json", rep.id);
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            f.write_all(serde_json::to_string_pretty(rep).unwrap().as_bytes()).unwrap();
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Application experiment: Fig. 14(b) — data assimilation vs MAGMA.
+
+use wsvd_apps::{analysis_step_distributed, AssimilationProblem, SvdEngine};
+use wsvd_gpu_sim::{GpuCluster, VEGA20};
+
+use crate::report::{fmt_secs, fmt_speedup, Report};
+use crate::scale::Scale;
+
+/// Fig. 14(b): the oceanic data-assimilation analysis step on a
+/// distributed-memory system of Vega20 GPUs (the artifact's `test_Cluster`
+/// setup), W-cycle vs MAGMA, for growing grids and GPU counts.
+pub fn fig14b(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig14b",
+        "Data assimilation on a Vega20 cluster (Fig. 14b)",
+        &scale.note("paper: sizes 50..1024 per grid point; reduced: 24..112"),
+        &["gpus", "grid points", "MAGMA", "W-cycle", "speedup"],
+        "2.73~3.09x over MAGMA across grid sizes and GPU counts",
+    );
+    let (min_dim, max_dim) = scale.pick((24usize, 112usize), (50, 1024));
+    let grids: &[usize] = scale.pick(&[24usize, 48][..], &[64, 128, 256][..]);
+    for &gpus in &[1usize, 4] {
+        for &points in grids {
+            let problem = AssimilationProblem::generate(points, min_dim, max_dim, 4242);
+            let cm = GpuCluster::new(VEGA20, gpus);
+            let magma = analysis_step_distributed(&cm, &problem, SvdEngine::Magma).unwrap();
+            let cw = GpuCluster::new(VEGA20, gpus);
+            let wcycle = analysis_step_distributed(&cw, &problem, SvdEngine::WCycle).unwrap();
+            // Both engines must agree on the analysis weights.
+            let (wn, mn) = (wcycle.weight_norms(), magma.weight_norms());
+            for (a, b) in wn.iter().zip(&mn) {
+                assert!((a - b).abs() < 1e-6 * (1.0 + b), "engines disagree: {a} vs {b}");
+            }
+            rep.push_row(vec![
+                gpus.to_string(),
+                points.to_string(),
+                fmt_secs(magma.svd_seconds),
+                fmt_secs(wcycle.svd_seconds),
+                fmt_speedup(magma.svd_seconds, wcycle.svd_seconds),
+            ]);
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14b_wcycle_wins_and_engines_agree() {
+        let rep = fig14b(Scale::Reduced);
+        for row in &rep.rows {
+            let s: f64 = row[4].trim_end_matches('x').parse().unwrap();
+            assert!(s > 1.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Comparisons against cuSOLVER, MAGMA and the ref.\[19\] methods:
+//! Fig. 7, Fig. 8(a)/(b), Fig. 9, Table IV, Table VI, Fig. 13, Fig. 14(a).
+
+use wsvd_baselines::{
+    batched_dp_direct, batched_dp_gram, cusolver_batched_svd, gesvdj_serial_batch,
+    magma_batched_svd,
+};
+use wsvd_core::{wcycle_svd, WCycleConfig};
+use wsvd_datasets::TABLE_VI;
+use wsvd_gpu_sim::{DeviceSpec, Gpu, A100, P100, TITAN_X, V100, VEGA20};
+use wsvd_linalg::generate::random_batch;
+use wsvd_linalg::Matrix;
+
+use crate::report::{fmt_secs, fmt_speedup, Report};
+use crate::scale::Scale;
+
+fn time_wcycle(device: DeviceSpec, mats: &[Matrix]) -> f64 {
+    let gpu = Gpu::new(device);
+    wcycle_svd(&gpu, mats, &WCycleConfig::default()).unwrap();
+    gpu.elapsed_seconds()
+}
+
+fn time_cusolver(device: DeviceSpec, mats: &[Matrix]) -> f64 {
+    let gpu = Gpu::new(device);
+    cusolver_batched_svd(&gpu, mats).unwrap();
+    gpu.elapsed_seconds()
+}
+
+fn time_magma(device: DeviceSpec, mats: &[Matrix]) -> f64 {
+    let gpu = Gpu::new(device);
+    magma_batched_svd(&gpu, mats).unwrap();
+    gpu.elapsed_seconds()
+}
+
+/// Fig. 7: W-cycle vs cuSOLVER's batched kernel (`m, n <= 32`), over matrix
+/// shapes and batch sizes.
+pub fn fig7(scale: Scale) -> Report {
+    fig7_on(scale, V100, "fig7", "W-cycle vs cuSOLVER gesvdjBatched (Fig. 7)")
+}
+
+/// Fig. 13: the same grid on the A100, whose tensor cores accelerate the
+/// per-level batched GEMMs.
+pub fn fig13(scale: Scale) -> Report {
+    let mut rep = fig7_on(scale, A100, "fig13", "W-cycle vs cuSOLVER on A100 with tensor cores (Fig. 13)");
+    rep.shape_claim =
+        "speedups persist on A100; tensor cores push the envelope further".to_string();
+    rep
+}
+
+fn fig7_on(scale: Scale, device: DeviceSpec, id: &str, title: &str) -> Report {
+    let mut rep = Report::new(
+        id,
+        title,
+        &scale.note("shapes (m,n) <= 32 as in the paper"),
+        &["m", "n", "batch", "cuSOLVER", "W-cycle", "speedup"],
+        "2.6~10.2x over cuSOLVER; larger batches help, smaller matrices help, m<=n helps",
+    );
+    let batches: &[usize] = scale.pick(&[10usize, 100][..], &[10, 100, 500][..]);
+    for &(m, n) in &[(8usize, 32usize), (16, 32), (32, 32), (32, 16), (32, 8)] {
+        for &batch in batches {
+            let mats = random_batch(batch, m, n, (m * 100 + n) as u64);
+            let cu = time_cusolver(device, &mats);
+            let wc = time_wcycle(device, &mats);
+            rep.push_row(vec![
+                m.to_string(),
+                n.to_string(),
+                batch.to_string(),
+                fmt_secs(cu),
+                fmt_secs(wc),
+                fmt_speedup(cu, wc),
+            ]);
+        }
+    }
+    rep
+}
+
+/// Fig. 8(a): single SVD (batch = 1) of large matrices vs the cuSOLVER
+/// single API.
+pub fn fig8a(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig8a",
+        "Single SVD vs cuSOLVER gesvdj (Fig. 8a)",
+        &scale.note("paper sweeps n = 500..10000; reduced sweeps n = 64..320"),
+        &["n", "cuSOLVER", "W-cycle", "speedup"],
+        "~1.37x average for batch size 1",
+    );
+    let sizes: &[usize] = scale.pick(&[64usize, 128, 192, 320][..], &[512, 1024, 2048, 4096][..]);
+    for &n in sizes {
+        let mats = random_batch(1, n, n, n as u64);
+        let cu = time_cusolver(V100, &mats);
+        let wc = time_wcycle(V100, &mats);
+        rep.push_row(vec![n.to_string(), fmt_secs(cu), fmt_secs(wc), fmt_speedup(cu, wc)]);
+    }
+    rep
+}
+
+/// Fig. 8(b): batched SVD of larger-than-32 matrices vs the serial cuSOLVER
+/// loop, various batch sizes.
+pub fn fig8b(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig8b",
+        "Batched SVD vs cuSOLVER (Fig. 8b)",
+        &scale.note("paper: n in 64..1024, batches 10..500"),
+        &["n", "batch", "cuSOLVER (serial)", "W-cycle", "speedup"],
+        "2~20x; the benefit is consistent as the batch grows",
+    );
+    let sizes: &[usize] = scale.pick(&[64usize, 128][..], &[64, 128, 256, 512, 1024][..]);
+    let batches: &[usize] = scale.pick(&[10usize, 40][..], &[10, 100, 500][..]);
+    for &n in sizes {
+        for &batch in batches {
+            let mats = random_batch(batch, n, n, (n + batch) as u64);
+            let gpu = Gpu::new(V100);
+            gesvdj_serial_batch(&gpu, &mats).unwrap();
+            let cu = gpu.elapsed_seconds();
+            let wc = time_wcycle(V100, &mats);
+            rep.push_row(vec![
+                n.to_string(),
+                batch.to_string(),
+                fmt_secs(cu),
+                fmt_secs(wc),
+                fmt_speedup(cu, wc),
+            ]);
+        }
+    }
+    rep
+}
+
+/// Fig. 9: W-cycle vs the MAGMA-like two-stage SVD.
+pub fn fig9(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig9",
+        "W-cycle vs MAGMA (Fig. 9)",
+        &scale.note("two-stage gesvd looped serially over the batch"),
+        &["n", "batch", "MAGMA", "W-cycle", "speedup"],
+        ">=2.78x single, >=4.2x batched; consistent as batch grows",
+    );
+    let sizes: &[usize] = scale.pick(&[64usize, 128][..], &[128, 256, 512][..]);
+    let batches: &[usize] = scale.pick(&[1usize, 10, 40][..], &[1, 10, 100][..]);
+    for &n in sizes {
+        for &batch in batches {
+            let mats = random_batch(batch, n, n, (3 * n + batch) as u64);
+            let mg = time_magma(V100, &mats);
+            let wc = time_wcycle(V100, &mats);
+            rep.push_row(vec![
+                n.to_string(),
+                batch.to_string(),
+                fmt_secs(mg),
+                fmt_secs(wc),
+                fmt_speedup(mg, wc),
+            ]);
+        }
+    }
+    rep
+}
+
+/// Table IV: 200 same-size matrices on the P100 vs the ref.\[19\] methods.
+pub fn tab4(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "tab4",
+        "SVDs of 200 matrices on P100 (Table IV)",
+        &scale.note("paper: 200 matrices of 100..512; reduced: 20 of 50..160"),
+        &["size", "DP_Direct", "DP_Gram", "cuSOLVER", "W-cycle", "vs best DP"],
+        "W-cycle beats Batched_DP_Direct/Gram by 4.1~8.6x / 3.6~11x",
+    );
+    let batch = scale.dim(200, 10, 8);
+    let sizes: &[usize] = scale.pick(&[50usize, 64, 128, 160][..], &[100, 128, 256, 512][..]);
+    for &n in sizes {
+        let mats = random_batch(batch, n, n, n as u64 * 7);
+        let run = |f: &dyn Fn(&Gpu, &[Matrix])| {
+            let gpu = Gpu::new(P100);
+            f(&gpu, &mats);
+            gpu.elapsed_seconds()
+        };
+        let direct = run(&|g, m| {
+            batched_dp_direct(g, m).unwrap();
+        });
+        let gram = run(&|g, m| {
+            batched_dp_gram(g, m).unwrap();
+        });
+        let cu = run(&|g, m| {
+            cusolver_batched_svd(g, m).unwrap();
+        });
+        let wc = run(&|g, m| {
+            wcycle_svd(g, m, &WCycleConfig::default()).unwrap();
+        });
+        rep.push_row(vec![
+            format!("{n}x{n}"),
+            fmt_secs(direct),
+            fmt_secs(gram),
+            fmt_secs(cu),
+            fmt_secs(wc),
+            fmt_speedup(direct.min(gram), wc),
+        ]);
+    }
+    rep
+}
+
+/// Table VI: variable-size batches (SuiteSparse-style groups).
+pub fn tab6(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "tab6",
+        "W-cycle with various matrix sizes (Table VI)",
+        &scale.note("synthetic SuiteSparse-style mixed-size groups, scaled"),
+        &["size cap", "batch", "cuSOLVER", "W-cycle", "speedup"],
+        "2.21~15.0x over cuSOLVER; mid-size groups benefit most (tailoring)",
+    );
+    let factor = scale.pick(0.25, 1.0);
+    for group in TABLE_VI {
+        let mats = group.generate_scaled(99, factor);
+        let batch = mats.len();
+        let cu = time_cusolver(V100, &mats);
+        let wc = time_wcycle(V100, &mats);
+        rep.push_row(vec![
+            format!("<= {}", ((group.cap as f64 * factor) as usize).max(4)),
+            batch.to_string(),
+            fmt_secs(cu),
+            fmt_secs(wc),
+            fmt_speedup(cu, wc),
+        ]);
+    }
+    rep
+}
+
+/// Fig. 14(a): portability across device models.
+pub fn fig14a(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig14a",
+        "Portability across GPUs (Fig. 14a)",
+        &scale.note("paper: 100 matrices of 512x512; reduced: 10 of 128x128"),
+        &["device", "baseline", "baseline time", "W-cycle", "speedup"],
+        "~4.5-4.9x over cuSOLVER on NVIDIA parts; ~2.85x over MAGMA on Vega20",
+    );
+    let n = scale.dim(512, 4, 96);
+    let batch = scale.dim(100, 10, 4);
+    let mats = random_batch(batch, n, n, 1234);
+    for device in [V100, P100, TITAN_X] {
+        let cu = time_cusolver(device, &mats);
+        let wc = time_wcycle(device, &mats);
+        rep.push_row(vec![
+            device.name.to_string(),
+            "cuSOLVER".into(),
+            fmt_secs(cu),
+            fmt_secs(wc),
+            fmt_speedup(cu, wc),
+        ]);
+    }
+    // AMD Vega20 is compared against MAGMA (no cuSOLVER under HIP).
+    let mg = time_magma(VEGA20, &mats);
+    let wc = time_wcycle(VEGA20, &mats);
+    rep.push_row(vec![
+        VEGA20.name.to_string(),
+        "MAGMA".into(),
+        fmt_secs(mg),
+        fmt_secs(wc),
+        fmt_speedup(mg, wc),
+    ]);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speedup(cell: &str) -> f64 {
+        cell.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn fig7_wcycle_wins_everywhere() {
+        let rep = fig7(Scale::Reduced);
+        for row in &rep.rows {
+            assert!(speedup(&row[5]) > 1.0, "no speedup in {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig7_speedups_stay_in_paper_band() {
+        // The paper reports 2.6~10.2x; at reduced scale every cell must stay
+        // comfortably inside a widened version of that band, and growing the
+        // batch must never collapse the advantage.
+        let rep = fig7(Scale::Reduced);
+        for row in &rep.rows {
+            let s = speedup(&row[5]);
+            assert!((2.0..30.0).contains(&s), "speedup {s} out of band: {row:?}");
+        }
+        for pair in rep.rows.chunks(2) {
+            assert!(
+                speedup(&pair[1][5]) >= speedup(&pair[0][5]) * 0.5,
+                "batch growth collapsed the win: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tab4_wcycle_never_size_trapped() {
+        // The size-sensitivity story of Table IV: Direct blows up once pair
+        // blocks leave SM, Gram pays the serial EVD, cuSOLVER's serial loop
+        // is worst everywhere; the W-cycle stays competitive at every size
+        // and wins clearly at the extremes.
+        let rep = tab4(Scale::Reduced);
+        let secs = |cell: &str| {
+            let mut it = cell.split_whitespace();
+            let v: f64 = it.next().unwrap().parse().unwrap();
+            match it.next().unwrap() {
+                "s" => v,
+                "ms" => v * 1e-3,
+                _ => v * 1e-6,
+            }
+        };
+        for row in &rep.rows {
+            let (direct, gram) = (secs(&row[1]), secs(&row[2]));
+            let (cu, wc) = (secs(&row[3]), secs(&row[4]));
+            assert!(cu > direct.min(gram), "cuSOLVER not worst: {row:?}");
+            assert!(wc < 1.5 * direct.min(gram), "W-cycle size-trapped: {row:?}");
+        }
+        assert!(speedup(&rep.rows[0][5]) > 2.0, "no clear win at the small end");
+        assert!(speedup(rep.rows.last().unwrap().last().unwrap()) > 2.0, "no clear win at the large end");
+    }
+
+    #[test]
+    fn fig9_wcycle_beats_magma_for_batches() {
+        // At reduced scale the batch-1 rows are launch-overhead-bound (the
+        // paper's batch-1 sizes start at 500); the batched rows must show
+        // the W-cycle win, growing with the batch.
+        let rep = fig9(Scale::Reduced);
+        for row in rep.rows.iter().filter(|r| r[1].parse::<usize>().unwrap() >= 10) {
+            assert!(speedup(&row[4]) > 1.0, "{row:?}");
+        }
+        // Within each size, speedup grows with batch.
+        for rows in rep.rows.chunks(3) {
+            assert!(speedup(&rows[2][4]) > speedup(&rows[0][4]), "{rows:?}");
+        }
+    }
+
+    #[test]
+    fn tab6_covers_all_groups() {
+        let rep = tab6(Scale::Reduced);
+        assert_eq!(rep.rows.len(), 5);
+        for row in &rep.rows {
+            assert!(speedup(&row[4]) > 1.0, "{row:?}");
+        }
+    }
+}

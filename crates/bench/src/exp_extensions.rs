@@ -1,0 +1,179 @@
+//! Extension experiments beyond the paper's evaluation section:
+//! * `ext-ablation` — the design-choice ablations DESIGN.md §5 calls out
+//!   (the three advantages of §III-D plus the §IV optimizations);
+//! * `ext-lowp` — the §V-E low-precision sketch (f32/bf16 storage);
+//! * `ext-profile` — the per-kernel time/traffic breakdown behind §V-B.
+
+use wsvd_core::{wcycle_svd, AlphaSelect, Tuning, WCycleConfig};
+use wsvd_gpu_sim::{Gpu, V100};
+use wsvd_jacobi::fits::{evd_smem_elems, svd_smem_elems};
+use wsvd_linalg::generate::random_batch;
+use wsvd_linalg::lowp::Precision;
+use wsvd_linalg::singular_values;
+use wsvd_linalg::verify::spectrum_distance;
+
+use crate::report::{fmt_secs, Report};
+use crate::scale::Scale;
+
+/// Ablations: switch off one design element at a time and measure the cost.
+pub fn ext_ablation(scale: Scale) -> Report {
+    let n = scale.dim(256, 2, 96);
+    let batch = scale.dim(100, 5, 10);
+    let mut rep = Report::new(
+        "ext-ablation",
+        "Design-choice ablations (extension)",
+        &scale.note(&format!("{batch} matrices of {n}x{n}")),
+        &["variant", "time", "sweeps", "vs full"],
+        "each optimization pays where it engages (cache 1.1x here; tailoring needs the fig12 regime); static small w costs sweeps",
+    );
+    let mats = random_batch(batch, n, n, 4096 + n as u64);
+    let variants: Vec<(&str, WCycleConfig)> = vec![
+        ("full W-cycle", WCycleConfig::default()),
+        ("no tailoring", WCycleConfig { tailor_gemm: false, ..Default::default() }),
+        ("no norm cache (Eq. 6 off)", WCycleConfig { cache_norms: false, ..Default::default() }),
+        (
+            "one warp per pair (no α)",
+            WCycleConfig { alpha: AlphaSelect::Fixed(32), ..Default::default() },
+        ),
+        (
+            "static w = 8 (no multilevel)",
+            WCycleConfig { tuning: Tuning::Widths(vec![8]), ..Default::default() },
+        ),
+        (
+            "dynamic ordering (ref. [12])",
+            WCycleConfig { dynamic_ordering: true, ..Default::default() },
+        ),
+        (
+            "QR preconditioning (refs. [5]/[42])",
+            WCycleConfig { qr_precondition: true, ..Default::default() },
+        ),
+    ];
+    let mut full_time = 0.0f64;
+    for (label, cfg) in &variants {
+        let gpu = Gpu::new(V100);
+        let out = wcycle_svd(&gpu, &mats, cfg).unwrap();
+        let t = gpu.elapsed_seconds();
+        if *label == "full W-cycle" {
+            full_time = t;
+        }
+        let sweeps = out.results.iter().map(|r| r.sweeps).max().unwrap_or(0);
+        rep.push_row(vec![
+            label.to_string(),
+            fmt_secs(t),
+            sweeps.to_string(),
+            format!("{:.2}x", t / full_time.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    rep
+}
+
+/// Low-precision storage (§V-E): smaller elements let larger tiles live in
+/// SM (larger feasible `w_h`), at a bounded accuracy cost.
+pub fn ext_lowp(scale: Scale) -> Report {
+    let n = scale.dim(256, 2, 96);
+    let mut rep = Report::new(
+        "ext-lowp",
+        "Low-precision storage sketch (§V-E extension)",
+        &scale.note(&format!("one {n}x{n} matrix; f64 kernels on quantized data")),
+        &["precision", "max w (EVD fit)", "max pair rows (SVD fit, 2w=32)", "spectrum error"],
+        "f32/bf16 double/quadruple the SM budget; error tracks the unit roundoff",
+    );
+    let a = wsvd_linalg::generate::random_uniform(n, n, 31415);
+    let reference = singular_values(&a).unwrap();
+    let sigma_max = reference[0];
+    for p in [Precision::F64, Precision::F32, Precision::Bf16] {
+        // Effective element budget at this precision.
+        let budget_elems = 48 * 1024 / p.bytes();
+        let max_w = {
+            let mut w = 1;
+            while evd_smem_elems(2 * (w + 1)) <= budget_elems {
+                w += 1;
+            }
+            w
+        };
+        let max_rows = {
+            let mut m = 32;
+            while svd_smem_elems(m + 1, 32) <= budget_elems {
+                m += 1;
+            }
+            m
+        };
+        // Accuracy: decompose the quantized matrix with the f64 kernels and
+        // compare against the f64 reference spectrum.
+        let q = p.quantize(&a);
+        let gpu = Gpu::new(V100);
+        let out = wcycle_svd(&gpu, std::slice::from_ref(&q), &WCycleConfig::default()).unwrap();
+        let err = spectrum_distance(&out.results[0].sigma, &reference) / sigma_max.max(1.0);
+        rep.push_row(vec![
+            format!("{p:?}"),
+            max_w.to_string(),
+            max_rows.to_string(),
+            format!("{err:.2e}"),
+        ]);
+    }
+    rep
+}
+
+/// Per-kernel profile of a representative batched run (the §V-B analysis).
+pub fn ext_profile(scale: Scale) -> Report {
+    let n = scale.dim(256, 2, 96);
+    let batch = scale.dim(100, 5, 10);
+    let gpu = Gpu::new(V100);
+    let mats = random_batch(batch, n, n, 2718);
+    wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+    let profile = gpu.profile();
+    let total = profile.total_seconds().max(f64::MIN_POSITIVE);
+
+    let mut rep = Report::new(
+        "ext-profile",
+        "Per-kernel simulated-time breakdown (extension; §V-B view)",
+        &scale.note(&format!("{batch} matrices of {n}x{n}")),
+        &["kernel", "time%", "launches", "GM bytes", "occupancy"],
+        "the EVD/SVD rotation kernels dominate; GEMMs carry the GM traffic",
+    );
+    let mut rows: Vec<_> = profile.iter().collect();
+    rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+    for (label, k) in rows {
+        rep.push_row(vec![
+            label.to_string(),
+            format!("{:.1}%", 100.0 * k.seconds / total),
+            k.launches.to_string(),
+            format!("{:.2e}", k.totals.gm_bytes() as f64),
+            format!("{:.3}", k.mean_occupancy()),
+        ]);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_full_variant_is_fastest_or_close() {
+        let rep = ext_ablation(Scale::Reduced);
+        let full: f64 = rep.rows[0][3].trim_end_matches('x').parse().unwrap();
+        assert!((full - 1.0).abs() < 1e-9);
+        for row in &rep.rows[1..4] {
+            let ratio: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            assert!(ratio >= 0.95, "removing an optimization should not help: {row:?}");
+        }
+    }
+
+    #[test]
+    fn lowp_budgets_scale_with_precision() {
+        let rep = ext_lowp(Scale::Reduced);
+        let w: Vec<usize> = rep.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(w[1] > w[0] && w[2] > w[1], "{w:?}");
+        let err: Vec<f64> = rep.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(err[0] < err[1] && err[1] < err[2], "{err:?}");
+        assert!(err[1] < 1e-5, "f32 error too large: {}", err[1]);
+    }
+
+    #[test]
+    fn profile_covers_the_run() {
+        let rep = ext_profile(Scale::Reduced);
+        assert!(rep.rows.len() >= 3, "expected several kernel labels");
+        assert!(rep.rows.iter().any(|r| r[0].contains("svd") || r[0].contains("evd")));
+    }
+}

@@ -1,0 +1,259 @@
+//! Tailoring-strategy and profiling experiments:
+//! Table I, Fig. 11(a), Fig. 11(b), Fig. 12, Table V.
+
+use wsvd_batched::models::TailorPlan;
+use wsvd_core::{wcycle_svd, Tuning, WCycleConfig};
+use wsvd_gpu_sim::{Gpu, V100};
+use wsvd_linalg::generate::random_batch;
+use wsvd_linalg::Matrix;
+
+use crate::report::{fmt_secs, fmt_speedup, Report};
+use crate::scale::Scale;
+
+fn time_with(mats: &[Matrix], cfg: &WCycleConfig) -> f64 {
+    let gpu = Gpu::new(V100);
+    wcycle_svd(&gpu, mats, cfg).unwrap();
+    gpu.elapsed_seconds()
+}
+
+fn fixed_plan_cfg(w: usize, delta: usize, threads: usize) -> WCycleConfig {
+    WCycleConfig { tuning: Tuning::Fixed(TailorPlan::new(w, delta, threads)), ..Default::default() }
+}
+
+/// Table I: time of the batched SVD as a function of the standard-plate
+/// geometry (tile height δ x tile width 2w) of the two Level-1 GEMMs.
+pub fn tab1(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "tab1",
+        "Tile sizes for the two batched GEMMs (Table I)",
+        &scale.note("paper: 100 matrices of 256/512; reduced: 12 of 96/160"),
+        &["matrix", "tile w", "δ=32", "δ=64", "δ=128", "δ=m"],
+        "a mid-sized plate (w≈16-32, δ≈m/2) minimizes time, as in Table I",
+    );
+    let batch = scale.dim(100, 8, 8);
+    let sizes: &[usize] = scale.pick(&[96usize, 160][..], &[256, 512][..]);
+    for &n in sizes {
+        let mats = random_batch(batch, n, n, n as u64 + 5);
+        for &w in &[4usize, 8, 16, 24] {
+            let mut row = vec![format!("{n}x{n}"), w.to_string()];
+            for &delta in &[32usize, 64, 128, n] {
+                let t = time_with(&mats, &fixed_plan_cfg(w, delta, 256));
+                row.push(fmt_secs(t));
+            }
+            rep.push_row(row);
+        }
+    }
+    rep
+}
+
+/// Fig. 11(a): GPU occupancy of the W-cycle vs batch size.
+pub fn fig11a(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig11a",
+        "GPU occupancy rate vs batch size (Fig. 11a)",
+        &scale.note("64x64 matrices"),
+        &["batch", "mean occupancy"],
+        "occupancy rises monotonically with batch size toward the peak",
+    );
+    let batches: &[usize] = scale.pick(&[10usize, 50, 100, 200][..], &[10, 50, 100, 200, 500][..]);
+    for &batch in batches {
+        let mats = random_batch(batch, 64, 64, 21);
+        let gpu = Gpu::new(V100);
+        wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+        let occ = gpu.timeline().mean_occupancy();
+        rep.push_row(vec![batch.to_string(), format!("{:.3}", occ)]);
+    }
+    rep
+}
+
+/// Fig. 11(b): global-memory transactions of W-cycle relative to cuSOLVER.
+pub fn fig11b(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig11b",
+        "GM transactions: W-cycle / cuSOLVER (Fig. 11b)",
+        &scale.note("batch 20 per size"),
+        &["size", "cuSOLVER GM tx", "W-cycle GM tx", "ratio"],
+        "W-cycle moves less data through GM at every size",
+    );
+    let batch = scale.pick(20, 100);
+    for &n in &[8usize, 16, 32, 64, 96] {
+        let mats = random_batch(batch, n, n, 31 + n as u64);
+        let gpu_c = Gpu::new(V100);
+        wsvd_baselines::cusolver_batched_svd(&gpu_c, &mats).unwrap();
+        let cu_tx = gpu_c.timeline().totals.gm_transactions;
+        let gpu_w = Gpu::new(V100);
+        wcycle_svd(&gpu_w, &mats, &WCycleConfig::default()).unwrap();
+        let wc_tx = gpu_w.timeline().totals.gm_transactions;
+        rep.push_row(vec![
+            format!("{n}x{n}"),
+            cu_tx.to_string(),
+            wc_tx.to_string(),
+            format!("{:.2}", wc_tx as f64 / cu_tx.max(1) as f64),
+        ]);
+    }
+    rep
+}
+
+/// Fig. 12: W-cycle with the tailoring strategy (auto-tuned) vs W-cycle
+/// without tailoring, across batch and matrix sizes.
+pub fn fig12(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "fig12",
+        "Tailoring strategy speedup over no tailoring (Fig. 12)",
+        &scale.note("paper: ~1.2x average, up to 1.48x at batch 500"),
+        &["size", "batch", "no tailoring", "auto-tuned", "speedup"],
+        "tailoring helps consistently; gains grow with batch and matrix size",
+    );
+    // Tailoring pays off when there are too few GEMM tasks to fill the
+    // device (Challenge 2): few matrices, tall pair blocks. With very large
+    // batches every strategy saturates the SMs and the gain fades — exactly
+    // the second observation the paper makes about Fig. 12.
+    //
+    // The paper's V100 TLP threshold was calibrated against paper-scale
+    // probes; at reduced scale no reduced workload can ever cross it and
+    // the engine would (correctly) never split. Re-calibrating for the
+    // reduced workload is the §IV-D3 procedure itself ("determined only
+    // once for a particular platform").
+    let threshold = match scale {
+        Scale::Reduced => {
+            let gpu = Gpu::new(V100);
+            wsvd_batched::calibrate_threshold(&gpu, 0.05)
+        }
+        Scale::Full => wsvd_batched::V100_TLP_THRESHOLD,
+    };
+    let auto_cfg =
+        WCycleConfig { tuning: Tuning::Auto { threshold }, ..Default::default() };
+    // GEMM work per rotation scales with the pair-block row count while the
+    // EVD cost does not, so the GEMM-bound regime the paper reaches with
+    // 512²..1024² squares is reached at reduced scale with tall matrices.
+    let shapes: &[(usize, usize)] =
+        scale.pick(&[(1024usize, 48usize), (2048, 64)][..], &[(512, 512), (1024, 1024)][..]);
+    let batches: &[usize] = scale.pick(&[2usize, 8][..], &[10, 100, 500][..]);
+    for &(m, n) in shapes {
+        for &batch in batches {
+            let mats = random_batch(batch, m, n, 7 * n as u64 + batch as u64);
+            let plain = time_with(&mats, &WCycleConfig { tailor_gemm: false, ..auto_cfg.clone() });
+            let tailored = time_with(&mats, &auto_cfg);
+            rep.push_row(vec![
+                format!("{m}x{n}"),
+                batch.to_string(),
+                fmt_secs(plain),
+                fmt_secs(tailored),
+                fmt_speedup(plain, tailored),
+            ]);
+        }
+    }
+    rep
+}
+
+/// Table V: fixed tailoring plans vs the auto-tuning engine vs the
+/// exhaustive ("theoretical") optimum.
+pub fn tab5(scale: Scale) -> Report {
+    let mut rep = Report::new(
+        "tab5",
+        "W-cycle with different tailoring plans (Table V)",
+        &scale.note("paper sizes 64..1024; reduced 48..160, batch 10"),
+        &["plan", "n=64", "n=96", "n=160"],
+        "auto-tuning matches the exhaustive optimum (within 12% in the paper)",
+    );
+    let batch = scale.pick(10, 100);
+    let sizes: Vec<usize> = scale.pick(&[64usize, 96, 160][..], &[64, 256, 1024][..]).to_vec();
+    let fixed: Vec<(String, Box<dyn Fn(usize) -> WCycleConfig>)> = vec![
+        ("δ=32, w=4".into(), Box::new(|_n| fixed_plan_cfg(4, 32, 256))),
+        ("δ=m, w=4".into(), Box::new(|n| fixed_plan_cfg(4, n, 256))),
+        ("δ=32, w=24".into(), Box::new(|_n| fixed_plan_cfg(24, 32, 256))),
+        ("δ=m, w=24".into(), Box::new(|n| fixed_plan_cfg(24, n, 256))),
+        ("δ=32, w=16".into(), Box::new(|_n| fixed_plan_cfg(16, 32, 256))),
+    ];
+    let mut best: Vec<f64> = vec![f64::INFINITY; sizes.len()];
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+    for (name, cfg_of) in &fixed {
+        let mut row = vec![name.clone()];
+        for (k, &n) in sizes.iter().enumerate() {
+            let mats = random_batch(batch, n, n, 11 * n as u64);
+            let t = time_with(&mats, &cfg_of(n));
+            best[k] = best[k].min(t);
+            row.push(fmt_secs(t));
+        }
+        all_rows.push(row);
+    }
+    // Auto-tuning row.
+    let mut auto_row = vec!["auto-tuning".to_string()];
+    let mut auto_times = Vec::new();
+    for (k, &n) in sizes.iter().enumerate() {
+        let mats = random_batch(batch, n, n, 11 * n as u64);
+        let t = time_with(&mats, &WCycleConfig::default());
+        best[k] = best[k].min(t);
+        auto_times.push(t);
+        auto_row.push(fmt_secs(t));
+    }
+    all_rows.push(auto_row);
+    let mut best_row = vec!["theoretical optimal".to_string()];
+    for &b in &best {
+        best_row.push(fmt_secs(b));
+    }
+    all_rows.push(best_row);
+    for row in all_rows {
+        rep.push_row(row);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(cell: &str) -> f64 {
+        let mut it = cell.split_whitespace();
+        let v: f64 = it.next().unwrap().parse().unwrap();
+        match it.next().unwrap() {
+            "s" => v,
+            "ms" => v * 1e-3,
+            _ => v * 1e-6,
+        }
+    }
+
+    #[test]
+    fn fig11a_occupancy_grows_with_batch() {
+        let rep = fig11a(Scale::Reduced);
+        let occ: Vec<f64> = rep.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        // Strong upward trend end-to-end; small wobble allowed where the
+        // auto-tuner flips plans between batch sizes.
+        assert!(occ.last().unwrap() > &(occ[0] * 3.0), "{occ:?}");
+        assert!(occ.windows(2).all(|w| w[1] >= w[0] * 0.85), "{occ:?}");
+    }
+
+    #[test]
+    fn fig11b_wcycle_moves_less_data() {
+        let rep = fig11b(Scale::Reduced);
+        for row in &rep.rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio < 1.0, "W-cycle should move less GM data: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig12_tailoring_wins_where_the_engine_splits() {
+        let rep = fig12(Scale::Reduced);
+        // Batch-8 rows cross the calibrated TLP threshold: clear gains.
+        for row in rep.rows.iter().filter(|r| r[1] == "8") {
+            let s: f64 = row[4].trim_end_matches('x').parse().unwrap();
+            assert!(s > 1.2, "no tailoring gain: {row:?}");
+        }
+        // Below the threshold the engine declines to split — never a loss.
+        for row in &rep.rows {
+            let s: f64 = row[4].trim_end_matches('x').parse().unwrap();
+            assert!(s >= 0.99, "tailoring hurt: {row:?}");
+        }
+    }
+
+    #[test]
+    fn tab5_auto_close_to_best() {
+        let rep = tab5(Scale::Reduced);
+        let auto = rep.rows.iter().find(|r| r[0] == "auto-tuning").unwrap();
+        let best = rep.rows.iter().find(|r| r[0] == "theoretical optimal").unwrap();
+        for (a, b) in auto[1..].iter().zip(&best[1..]) {
+            assert!(secs(a) <= secs(b) * 1.6, "auto {a} far from best {b}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Table rendering and result recording for the repro harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A rendered experiment: a title, column headers and string rows, plus a
+/// machine-readable record for EXPERIMENTS.md tooling.
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+pub struct Report {
+    /// Experiment id (`fig7`, `tab4`, ...).
+    pub id: String,
+    /// Human title (the paper caption).
+    pub title: String,
+    /// Scale note (e.g. "reduced: sizes /4, batches /10").
+    pub scale_note: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line statement of the paper-shape check this run supports.
+    pub shape_claim: String,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, scale_note: &str, headers: &[&str], shape_claim: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            scale_note: scale_note.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            shape_claim: shape_claim.to_string(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        if !self.scale_note.is_empty() {
+            let _ = writeln!(out, "   scale: {}", self.scale_note);
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("  ");
+            for (w, c) in widths.iter().zip(cells) {
+                let _ = write!(s, "| {c:>w$} ");
+            }
+            s.push('|');
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        if !self.shape_claim.is_empty() {
+            let _ = writeln!(out, "   shape: {}", self.shape_claim);
+        }
+        out
+    }
+
+    /// Compares this report against a stored baseline, returning the first
+    /// difference as a human-readable string (`None` when identical).
+    ///
+    /// Simulated time is fully deterministic, so any cell change signals a
+    /// real behavioural change in the code — this is the regression check
+    /// behind `repro --check`.
+    pub fn diff(&self, baseline: &Report) -> Option<String> {
+        if self.headers != baseline.headers {
+            return Some(format!("headers changed: {:?} vs {:?}", self.headers, baseline.headers));
+        }
+        if self.rows.len() != baseline.rows.len() {
+            return Some(format!(
+                "row count {} vs baseline {}",
+                self.rows.len(),
+                baseline.rows.len()
+            ));
+        }
+        for (k, (a, b)) in self.rows.iter().zip(&baseline.rows).enumerate() {
+            if a != b {
+                return Some(format!("row {k} changed: {a:?} vs baseline {b:?}"));
+            }
+        }
+        None
+    }
+}
+
+/// Formats seconds with engineering precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+/// Formats a speedup ratio.
+pub fn fmt_speedup(baseline: f64, ours: f64) -> String {
+    if ours > 0.0 {
+        format!("{:.2}x", baseline / ours)
+    } else {
+        "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "title", "full", &["a", "bbbb"], "claim");
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.push_row(vec!["100".into(), "2000000".into()]);
+        let s = r.render();
+        assert!(s.contains("== t — title"));
+        assert!(s.contains("|   1 |"));
+        assert!(s.contains("shape: claim"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("t", "t", "", &["a"], "");
+        r.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let mut a = Report::new("t", "t", "", &["x"], "");
+        a.push_row(vec!["1".into()]);
+        let mut b = Report::new("t", "t", "", &["x"], "");
+        b.push_row(vec!["1".into()]);
+        assert!(a.diff(&b).is_none());
+        b.rows[0][0] = "2".into();
+        assert!(a.diff(&b).unwrap().contains("row 0"));
+        b.rows.push(vec!["3".into()]);
+        assert!(a.diff(&b).unwrap().contains("row count"));
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut r = Report::new("id", "title", "scale", &["a"], "claim");
+        r.push_row(vec!["v".into()]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(0.0025), "2.500 ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.500 us");
+        assert_eq!(fmt_speedup(10.0, 2.0), "5.00x");
+        assert_eq!(fmt_speedup(1.0, 0.0), "inf");
+    }
+}

@@ -1,0 +1,74 @@
+//! Experiment scaling.
+//!
+//! The paper's workloads (e.g. 100 matrices of 1536x1536 to convergence)
+//! are sized for a V100; our numerics execute on the host CPU, so each
+//! experiment defines a *reduced* default that preserves the comparison
+//! shape, and accepts `--scale full` to run at paper scale. EXPERIMENTS.md
+//! records the scale used for every reported number.
+
+/// Global scale selector for the repro harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CPU-friendly reduced sizes (default).
+    Reduced,
+    /// The paper's exact sizes (slow on a CPU).
+    Full,
+}
+
+impl Scale {
+    /// Picks `reduced` or `full`.
+    pub fn pick<T: Copy>(self, reduced: T, full: T) -> T {
+        match self {
+            Scale::Reduced => reduced,
+            Scale::Full => full,
+        }
+    }
+
+    /// Scales a dimension: `full` at full scale, `full/div` (min `min`)
+    /// reduced.
+    pub fn dim(self, full: usize, div: usize, min: usize) -> usize {
+        match self {
+            Scale::Reduced => (full / div.max(1)).max(min),
+            Scale::Full => full,
+        }
+    }
+
+    /// Human-readable note for reports.
+    pub fn note(self, detail: &str) -> String {
+        match self {
+            Scale::Reduced => format!("reduced ({detail})"),
+            Scale::Full => "paper scale".to_string(),
+        }
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reduced" => Ok(Scale::Reduced),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (use reduced|full)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_and_dim() {
+        assert_eq!(Scale::Reduced.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+        assert_eq!(Scale::Reduced.dim(1536, 4, 64), 384);
+        assert_eq!(Scale::Reduced.dim(100, 64, 8), 8);
+        assert_eq!(Scale::Full.dim(1536, 4, 64), 1536);
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Full);
+        assert!("nope".parse::<Scale>().is_err());
+    }
+}

@@ -1,0 +1,971 @@
+//! The W-cycle SVD: a multilevel algorithm for batched SVD (Algorithm 2).
+//!
+//! Workflow (§III-C):
+//! * **Level 0** — matrices whose whole SVD fits in shared memory are
+//!   decomposed directly by the batched SM SVD kernel; the rest descend.
+//! * **Level h** — each descending matrix is partitioned into column blocks
+//!   of width `w_h`; every round-robin step pairs the blocks into
+//!   `A_ij = [A_i, A_j]` sub-matrices, which fall into three groups:
+//!   1. SVD of `A_ij` fits in SM → batched SM SVD kernel gives `J_ij`
+//!      directly **and** the rotated block (`UΣ`), avoiding the Gram GEMM
+//!      entirely (Observation 1);
+//!   2. only the EVD of `B_ij = A_ij^T A_ij` fits in SM → tailored batched
+//!      Gram GEMM, batched SM EVD kernel, tailored batched update GEMM;
+//!   3. neither fits → the pair block recurses to Level h+1 with a smaller
+//!      width (the "W" shape of Fig. 3).
+//! * Sweeps repeat until all column blocks are mutually orthogonal; each
+//!   converged matrix exits the workflow.
+
+use wsvd_batched::gemm::{batched_gram, batched_update, GemmStrategy};
+use wsvd_batched::models::TailorPlan;
+use wsvd_batched::autotune::auto_tune_with_w_cap;
+use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError};
+use wsvd_jacobi::batch::{batched_evd_sm, batched_svd_sm};
+use wsvd_jacobi::evd::EvdConfig;
+use wsvd_jacobi::fits::{evd_fits_in_sm, svd_fits_in_sm};
+use wsvd_jacobi::onesided::{JacobiSvd, OneSidedConfig};
+use wsvd_linalg::gemm::dot;
+use wsvd_linalg::verify::columns_converged;
+use wsvd_linalg::Matrix;
+
+use crate::config::{Tuning, WCycleConfig};
+use crate::stats::WCycleStats;
+
+/// The SVD of one input matrix as produced by the W-cycle.
+#[derive(Debug)]
+pub struct WSvd {
+    /// Left singular vectors, `m x r` (`r = min(m, n)`).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (full square for `m >= n` inputs; thin `n x r`
+    /// for wide inputs). `None` when `want_v` was off.
+    pub v: Option<Matrix>,
+    /// W-cycle sweeps this matrix needed (0 when decomposed whole in SM).
+    pub sweeps: usize,
+}
+
+/// Batched result: one [`WSvd`] per input plus the run statistics.
+#[derive(Debug)]
+pub struct WCycleOutput {
+    /// Per-matrix factorizations, in input order.
+    pub results: Vec<WSvd>,
+    /// Multilevel workflow statistics.
+    pub stats: WCycleStats,
+}
+
+/// Runs the W-cycle SVD over a batch of matrices of arbitrary (mixed) sizes.
+pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCycleOutput, KernelError> {
+    for (k, a) in mats.iter().enumerate() {
+        if !a.is_finite() {
+            return Err(KernelError::Other(format!(
+                "matrix {k} contains non-finite entries; Jacobi rotations would poison the batch"
+            )));
+        }
+    }
+    let smem = gpu.device().smem_per_block_bytes;
+    let mut stats = WCycleStats::default();
+    stats.sweeps_per_matrix = vec![0; mats.len()];
+
+    // Wide inputs are decomposed transposed (§IV-B): fewer rotations per
+    // sweep, and the factors swap back at the end. Very tall inputs are
+    // optionally QR-preconditioned (refs. [5]/[42]): the Jacobi workflow
+    // then runs on the square R factor and U is recovered as Q U_R.
+    let mut prepared: Vec<(Matrix, bool, Option<Matrix>)> = mats
+        .iter()
+        .map(|a| {
+            if a.rows() < a.cols() {
+                (a.transpose(), true)
+            } else {
+                (a.clone(), false)
+            }
+        })
+        .map(|(tall, transposed)| (tall, transposed, None))
+        .collect();
+    if cfg.qr_precondition {
+        let qr_idx: Vec<usize> = prepared
+            .iter()
+            .enumerate()
+            .filter(|(_, (tall, _, _))| {
+                tall.cols() >= 2
+                    && tall.rows() >= cfg.qr_aspect_threshold.max(2) * tall.cols()
+            })
+            .map(|(k, _)| k)
+            .collect();
+        if !qr_idx.is_empty() {
+            let inputs: Vec<Matrix> = qr_idx.iter().map(|&k| prepared[k].0.clone()).collect();
+            let factors = batched_counted_qr(gpu, &inputs)?;
+            for (&k, (q, r)) in qr_idx.iter().zip(factors) {
+                prepared[k] = (r, prepared[k].1, Some(q));
+            }
+        }
+    }
+
+    // Level-0 grouping (Algorithm 2, lines 2-5).
+    let mut fit_idx = Vec::new();
+    let mut rest_idx = Vec::new();
+    for (k, (a, _, _)) in prepared.iter().enumerate() {
+        if svd_fits_in_sm(a.rows(), a.cols(), smem) {
+            fit_idx.push(k);
+        } else {
+            rest_idx.push(k);
+        }
+    }
+
+    let mut slots: Vec<Option<WSvd>> = (0..mats.len()).map(|_| None).collect();
+
+    if !fit_idx.is_empty() {
+        let group: Vec<Matrix> = fit_idx.iter().map(|&k| prepared[k].0.clone()).collect();
+        let m_star = group.iter().map(|g| g.rows()).max().unwrap_or(1);
+        let one_sided = OneSidedConfig {
+            tol: cfg.tol,
+            threads_per_pair: cfg.alpha.resolve(m_star),
+            cache_norms: cfg.cache_norms,
+            accumulate_v: true,
+            ordering: cfg.ordering,
+            ..Default::default()
+        };
+        let (mut svds, _) = batched_svd_sm(gpu, &group, &one_sided, cfg.kernel_threads)?;
+        stats.level0_sm_svds = svds.len();
+        let recover: Vec<(usize, Matrix, Matrix)> = fit_idx
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &k)| {
+                prepared[k].2.as_ref().map(|q| (pos, q.clone(), svds[pos].u.clone()))
+            })
+            .collect();
+        if !recover.is_empty() {
+            let products = batched_counted_recover(gpu, &recover)?;
+            for ((pos, _, _), u) in recover.iter().zip(products) {
+                svds[*pos].u = u;
+            }
+        }
+        for (&k, svd) in fit_idx.iter().zip(svds) {
+            slots[k] = Some(finish_one(svd, prepared[k].1, cfg.want_v));
+        }
+    }
+
+    if !rest_idx.is_empty() {
+        let mut tasks: Vec<Matrix> = rest_idx.iter().map(|&k| prepared[k].0.clone()).collect();
+        // V is needed when the caller wants it, or to recover U of a
+        // transposed (wide) input.
+        let need_v: Vec<bool> = rest_idx.iter().map(|&k| cfg.want_v || prepared[k].1).collect();
+        let outcomes = decompose_level(gpu, &mut tasks, &need_v, 1, 48, cfg, &mut stats)?;
+
+        // Final extraction kernel: U = normalize(columns), Σ = column norms.
+        let kc = KernelConfig::new(tasks.len(), cfg.kernel_threads, 0, "wcycle_extract");
+        let extracted = {
+            let tasks_ref = &tasks;
+            gpu.launch_collect(kc, |b, ctx| {
+                let t = &tasks_ref[b];
+                ctx.count_gm_load(t.len());
+                ctx.par_step(t.len(), 2);
+                ctx.count_gm_store(t.len());
+                Ok(extract_u_sigma(t))
+            })?
+            .0
+        };
+        let mut extracted = extracted;
+        let recover: Vec<(usize, Matrix, Matrix)> = rest_idx
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &k)| {
+                prepared[k].2.as_ref().map(|q| (pos, q.clone(), extracted[pos].0.clone()))
+            })
+            .collect();
+        if !recover.is_empty() {
+            let products = batched_counted_recover(gpu, &recover)?;
+            for ((pos, _, _), u) in recover.iter().zip(products) {
+                extracted[*pos].0 = u;
+            }
+        }
+        for (slot, ((&k, (u, sigma)), outcome)) in
+            rest_idx.iter().zip(extracted).zip(outcomes).enumerate()
+        {
+            let transposed = prepared[k].1;
+            let mut v = outcome.v.map(|v| permute_cols(&v, &sigma_order(&tasks[slot])));
+            // `u`/`sigma` are already sorted by `extract_u_sigma`.
+            let sweeps = outcome.sweeps;
+            stats.sweeps_per_matrix[k] = sweeps;
+            let result = if transposed {
+                // A = V_t Σ U_t^T: swap the factors.
+                let v_t = v.take().expect("wide inputs always accumulate V");
+                let r = sigma.len();
+                let v_out =
+                    if cfg.want_v { Some(u) } else { None };
+                WSvd { u: thin(&v_t, r), sigma, v: v_out, sweeps }
+            } else {
+                WSvd { u, sigma, v: if cfg.want_v { v } else { None }, sweeps }
+            };
+            slots[k] = Some(result);
+        }
+    }
+
+    let results = slots.into_iter().map(|s| s.expect("every input decomposed")).collect();
+    Ok(WCycleOutput { results, stats })
+}
+
+/// Outcome of decomposing one task at a level: the matrix itself has been
+/// orthogonalized in place (columns = `UΣ`, unsorted).
+struct LevelOutcome {
+    v: Option<Matrix>,
+    sweeps: usize,
+}
+
+/// One pair block gathered for rotation.
+#[derive(Clone, Copy)]
+struct PairRef {
+    task: usize,
+    i_start: usize,
+    i_width: usize,
+    j_start: usize,
+    j_width: usize,
+}
+
+/// Orthogonalizes every task's columns via block rotations at `level`,
+/// recursing for pair blocks that fit neither SM kernel.
+fn decompose_level(
+    gpu: &Gpu,
+    tasks: &mut [Matrix],
+    need_v: &[bool],
+    level: usize,
+    w_cap: usize,
+    cfg: &WCycleConfig,
+    stats: &mut WCycleStats,
+) -> Result<Vec<LevelOutcome>, KernelError> {
+    let smem = gpu.device().smem_per_block_bytes;
+    // Inner rotation generators must run tighter than the outer convergence
+    // test, or the level's coherence plateaus just above `tol` (each pair
+    // block would retain up-to-`tol` residual coherence internally).
+    let inner_tol = (cfg.tol * 1e-2).max(1e-15);
+    let sizes: Vec<(usize, usize)> = tasks.iter().map(|t| t.shape()).collect();
+    let plan = resolve_plan(cfg, level, &sizes, w_cap);
+    stats.note_width(level, plan.w);
+    let strategy = if cfg.tailor_gemm {
+        GemmStrategy::Tailored(plan)
+    } else {
+        GemmStrategy::OneBlockPerGemm { threads: plan.threads }
+    };
+
+    // Per-task column partition (width w, ragged tail allowed). When
+    // w = n/2 would make the single pair block the whole task *and* that
+    // whole task fits neither SM kernel, the level would be a pure wrapper
+    // around the recursion — divide finer instead so the level does work.
+    let parts: Vec<Vec<(usize, usize)>> = tasks
+        .iter()
+        .map(|t| {
+            let (m, n) = t.shape();
+            let mut w = plan.w.min(n / 2).max(1);
+            if 2 * w >= n && !svd_fits_in_sm(m, n, smem) && !evd_fits_in_sm(n, smem) {
+                w = (n / 4).max(1);
+            }
+            partition_cols(n, w)
+        })
+        .collect();
+
+    let mut vs: Vec<Option<Matrix>> = need_v
+        .iter()
+        .zip(&sizes)
+        .map(|(&nv, &(_, n))| nv.then(|| Matrix::identity(n)))
+        .collect();
+    let mut sweeps = vec![0usize; tasks.len()];
+    let mut active: Vec<bool> = tasks.iter().map(|t| t.cols() >= 2).collect();
+
+    for _ in 0..cfg.max_sweeps {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        let schedules: Vec<_> = parts
+            .iter()
+            .zip(&active)
+            .enumerate()
+            .map(|(t, (p, &a))| {
+                if !a {
+                    Vec::new()
+                } else if cfg.dynamic_ordering {
+                    dynamic_schedule(&tasks[t], p)
+                } else {
+                    cfg.ordering.schedule(p.len())
+                }
+            })
+            .collect();
+        let max_steps = schedules.iter().map(|s| s.len()).max().unwrap_or(0);
+
+        for step in 0..max_steps {
+            // Gather this step's pair blocks across the whole batch.
+            let mut refs: Vec<PairRef> = Vec::new();
+            let mut blocks: Vec<Matrix> = Vec::new();
+            for (t, sched) in schedules.iter().enumerate() {
+                if !active[t] || step >= sched.len() {
+                    continue;
+                }
+                for &(bi, bj) in &sched[step] {
+                    let (i_start, i_width) = parts[t][bi];
+                    let (j_start, j_width) = parts[t][bj];
+                    refs.push(PairRef { task: t, i_start, i_width, j_start, j_width });
+                    blocks.push(gather_pair(&tasks[t], i_start, i_width, j_start, j_width));
+                }
+            }
+            if blocks.is_empty() {
+                continue;
+            }
+            stats.add_rotations(level, blocks.len() as u64);
+
+            // Classify into the three groups of Algorithm 2.
+            let mut ga: Vec<usize> = Vec::new();
+            let mut gb: Vec<usize> = Vec::new();
+            let mut gc: Vec<usize> = Vec::new();
+            for (idx, b) in blocks.iter().enumerate() {
+                let (m, nn) = b.shape();
+                if svd_fits_in_sm(m, nn, smem) {
+                    ga.push(idx);
+                } else if evd_fits_in_sm(nn, smem) {
+                    gb.push(idx);
+                } else {
+                    gc.push(idx);
+                }
+            }
+
+            let mut rotations: Vec<Option<Matrix>> = (0..blocks.len()).map(|_| None).collect();
+
+            // Group (i): direct SM SVD — avoids the Gram GEMM (Obs. 1) and
+            // the update GEMM (the kernel's converged columns are A_ij J).
+            if !ga.is_empty() {
+                let sub: Vec<Matrix> = ga.iter().map(|&i| blocks[i].clone()).collect();
+                let m_star = sub.iter().map(|s| s.rows()).max().unwrap();
+                let one_sided = OneSidedConfig {
+                    tol: inner_tol,
+                    threads_per_pair: cfg.alpha.resolve(m_star),
+                    cache_norms: cfg.cache_norms,
+                    accumulate_v: true,
+                    ordering: cfg.ordering,
+                    ..Default::default()
+                };
+                let (svds, _) = batched_svd_sm(gpu, &sub, &one_sided, cfg.kernel_threads)?;
+                stats.sm_svd_blocks += ga.len() as u64;
+                for (&i, svd) in ga.iter().zip(svds) {
+                    blocks[i] = rotated_block(&svd, blocks[i].shape());
+                    rotations[i] = Some(svd.v);
+                }
+            }
+
+            // Group (ii): Gram GEMM -> SM EVD. The `A_ij J_ij` update joins
+            // the fused batched-update launch below.
+            if !gb.is_empty() {
+                let sub: Vec<Matrix> = gb.iter().map(|&i| blocks[i].clone()).collect();
+                let (grams, _) = batched_gram(gpu, &sub, strategy)?;
+                let evd_cfg = EvdConfig { tol: 1e-15, max_sweeps: 30, ..Default::default() };
+                let (evds, _) = batched_evd_sm(gpu, &grams, &evd_cfg, cfg.kernel_threads)?;
+                stats.sm_evd_blocks += gb.len() as u64;
+                for (&i, evd) in gb.iter().zip(evds) {
+                    rotations[i] = Some(evd.j);
+                }
+            }
+
+            // Group (iii): recurse with a smaller width (Level h+1).
+            if !gc.is_empty() {
+                let mut sub: Vec<Matrix> = gc.iter().map(|&i| blocks[i].clone()).collect();
+                let all_v = vec![true; sub.len()];
+                let next_cap = plan.w.saturating_sub(1).max(1);
+                let sub_cfg = WCycleConfig { tol: inner_tol, ..cfg.clone() };
+                let outcomes =
+                    decompose_level(gpu, &mut sub, &all_v, level + 1, next_cap, &sub_cfg, stats)?;
+                stats.recursed_blocks += gc.len() as u64;
+                for ((&i, converged), outcome) in gc.iter().zip(sub).zip(outcomes) {
+                    blocks[i] = converged;
+                    rotations[i] = Some(outcome.v.expect("recursion always accumulates V"));
+                }
+            }
+
+            // One fused batched-update launch: the group-(ii) `A_ij J_ij`
+            // products and all V-accumulator updates (groups (i)/(iii) left
+            // their blocks already rotated, so only their V parts join).
+            let mut upd_mats: Vec<Matrix> = Vec::new();
+            let mut upd_js: Vec<Matrix> = Vec::new();
+            // (kind, index): kind 0 = A-block of group (ii), 1 = V pair.
+            let mut upd_meta: Vec<(u8, usize)> = Vec::new();
+            for &i in &gb {
+                upd_mats.push(blocks[i].clone());
+                upd_js.push(rotations[i].as_ref().unwrap().clone());
+                upd_meta.push((0, i));
+            }
+            for (k, r) in refs.iter().enumerate() {
+                if let Some(v) = vs[r.task].as_ref() {
+                    upd_mats.push(gather_pair(v, r.i_start, r.i_width, r.j_start, r.j_width));
+                    upd_js.push(
+                        rotations[k].as_ref().expect("rotation computed for every block").clone(),
+                    );
+                    upd_meta.push((1, k));
+                }
+            }
+            if !upd_mats.is_empty() {
+                batched_update(gpu, &mut upd_mats, &upd_js, strategy)?;
+                for ((kind, idx), updated) in upd_meta.into_iter().zip(upd_mats) {
+                    match kind {
+                        0 => blocks[idx] = updated,
+                        _ => {
+                            let r = refs[idx];
+                            let v = vs[r.task].as_mut().unwrap();
+                            scatter_pair(v, &r, &updated);
+                        }
+                    }
+                }
+            }
+            // Scatter every rotated pair block back into its task.
+            for (r, block) in refs.iter().zip(&blocks) {
+                scatter_pair(&mut tasks[r.task], r, block);
+            }
+        }
+
+        // Schedule-independent convergence test at the sweep boundary (in a
+        // real kernel this reduction falls out of the inner products the
+        // sweep already computed; it is not charged to the cost model).
+        for t in 0..tasks.len() {
+            if active[t] {
+                sweeps[t] += 1;
+                if columns_converged(&tasks[t], cfg.tol) {
+                    active[t] = false; // converged: exits the workflow
+                }
+            }
+        }
+    }
+
+    Ok(vs
+        .into_iter()
+        .zip(sweeps)
+        .map(|(v, sweeps)| LevelOutcome { v, sweeps })
+        .collect())
+}
+
+/// Batched QR factorization with launch accounting: one block per matrix
+/// (the preconditioning stage of refs. \[5\]/\[42\], itself batched like every
+/// other stage of the workflow).
+///
+/// Per ref. \[5\] the GPU-friendly route is **CholeskyQR** (one Gram GEMM,
+/// one small Cholesky, one triangular solve); it fails on panels whose
+/// condition number squares past `1/eps` in the Gram, in which case the
+/// block falls back to Householder QR (more work, unconditionally stable).
+fn batched_counted_qr(gpu: &Gpu, inputs: &[Matrix]) -> Result<Vec<(Matrix, Matrix)>, KernelError> {
+    let kc = KernelConfig::new(inputs.len(), 256, 16 * 1024, "wcycle_qr");
+    let (factors, _) = gpu.launch_collect(kc, |b, ctx| {
+        let a = &inputs[b];
+        let (m, n) = a.shape();
+        ctx.count_gm_load(m * n);
+        match wsvd_linalg::cholesky::cholesky_qr(a) {
+            Ok(qr) => {
+                // Gram (2mn^2) + Cholesky (n^3/3, tiny) + solve (mn^2).
+                ctx.par_step(m * n, 3 * n as u64);
+                ctx.count_gm_store(m * n + n * n);
+                Ok(qr)
+            }
+            Err(_) => {
+                // Householder QR (2mn^2) plus thin-Q formation (2mn^2).
+                ctx.par_step(m * n, 4 * n as u64);
+                ctx.serial_step(30 * n as u64); // column-by-column latency
+                ctx.count_gm_store(m * n + n * n);
+                Ok(wsvd_linalg::qr::qr_thin(a))
+            }
+        }
+    })?;
+    Ok(factors)
+}
+
+/// Batched `Q * U_R` recovery GEMMs with launch accounting.
+fn batched_counted_recover(
+    gpu: &Gpu,
+    items: &[(usize, Matrix, Matrix)],
+) -> Result<Vec<Matrix>, KernelError> {
+    let kc = KernelConfig::new(items.len(), 256, 16 * 1024, "wcycle_qr_recover");
+    let (products, _) = gpu.launch_collect(kc, |b, ctx| {
+        let (_, q, u) = &items[b];
+        let (m, k) = q.shape();
+        let r = u.cols();
+        ctx.count_gm_load(m * k + k * r);
+        ctx.par_step(m * r, 2 * k as u64);
+        ctx.count_gm_store(m * r);
+        Ok(wsvd_linalg::matmul(q, u))
+    })?;
+    Ok(products)
+}
+
+/// Dynamic ordering (ref. \[12\]): orders all block pairs of one sweep by
+/// descending normalized cross-Gram weight, then packs them greedily into
+/// steps of disjoint pairs — the heaviest couplings are attacked first.
+/// (The weights fall out of the Gram products a real sweep computes anyway,
+/// so no extra cost is charged to the model.)
+fn dynamic_schedule(task: &Matrix, parts: &[(usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+    let b = parts.len();
+    if b < 2 {
+        return Vec::new();
+    }
+    // Per-block Frobenius norms.
+    let norms: Vec<f64> = parts
+        .iter()
+        .map(|&(start, width)| {
+            let mut s = 0.0;
+            for c in start..start + width {
+                s += dot(task.col(c), task.col(c));
+            }
+            s.sqrt().max(f64::MIN_POSITIVE)
+        })
+        .collect();
+    // Pair weights: ||A_i^T A_j||_F normalized.
+    let mut weighted: Vec<(f64, usize, usize)> = Vec::with_capacity(b * (b - 1) / 2);
+    for j in 0..b {
+        for i in 0..j {
+            let (si, wi) = parts[i];
+            let (sj, wj) = parts[j];
+            let mut s = 0.0;
+            for ci in si..si + wi {
+                for cj in sj..sj + wj {
+                    let d = dot(task.col(ci), task.col(cj));
+                    s += d * d;
+                }
+            }
+            weighted.push((s.sqrt() / (norms[i] * norms[j]), i, j));
+        }
+    }
+    weighted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    // Greedy packing into steps of disjoint pairs.
+    let mut steps: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut used: Vec<Vec<bool>> = Vec::new();
+    for (_, i, j) in weighted {
+        let slot = used.iter().position(|u| !u[i] && !u[j]);
+        match slot {
+            Some(k) => {
+                steps[k].push((i, j));
+                used[k][i] = true;
+                used[k][j] = true;
+            }
+            None => {
+                let mut u = vec![false; b];
+                u[i] = true;
+                u[j] = true;
+                used.push(u);
+                steps.push(vec![(i, j)]);
+            }
+        }
+    }
+    steps
+}
+
+/// Columns `[start, start+w)` blocks of an `n`-column matrix (ragged tail).
+fn partition_cols(n: usize, w: usize) -> Vec<(usize, usize)> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let width = w.min(n - start);
+        parts.push((start, width));
+        start += width;
+    }
+    parts
+}
+
+fn gather_pair(m: &Matrix, i_start: usize, i_w: usize, j_start: usize, j_w: usize) -> Matrix {
+    let rows = m.rows();
+    let mut out = Matrix::zeros(rows, i_w + j_w);
+    for c in 0..i_w {
+        out.col_mut(c).copy_from_slice(m.col(i_start + c));
+    }
+    for c in 0..j_w {
+        out.col_mut(i_w + c).copy_from_slice(m.col(j_start + c));
+    }
+    out
+}
+
+fn scatter_pair(m: &mut Matrix, r: &PairRef, block: &Matrix) {
+    for c in 0..r.i_width {
+        m.col_mut(r.i_start + c).copy_from_slice(block.col(c));
+    }
+    for c in 0..r.j_width {
+        m.col_mut(r.j_start + c).copy_from_slice(block.col(r.i_width + c));
+    }
+}
+
+/// Rebuilds the rotated pair block `A_ij J = U Σ` (zero-padded for
+/// rank-deficient wide blocks) from the SM SVD kernel's output.
+fn rotated_block(svd: &JacobiSvd, shape: (usize, usize)) -> Matrix {
+    let (m, n) = shape;
+    let mut out = Matrix::zeros(m, n);
+    for (k, &s) in svd.sigma.iter().enumerate() {
+        let src = svd.u.col(k);
+        let dst = out.col_mut(k);
+        for i in 0..m {
+            dst[i] = s * src[i];
+        }
+    }
+    out
+}
+
+fn resolve_plan(cfg: &WCycleConfig, level: usize, sizes: &[(usize, usize)], w_cap: usize) -> TailorPlan {
+    let m_star = sizes.iter().map(|&(m, _)| m).max().unwrap_or(8);
+    match &cfg.tuning {
+        Tuning::Auto { threshold } => auto_tune_with_w_cap(sizes, *threshold, w_cap),
+        Tuning::Fixed(p) => TailorPlan::new(p.w.min(w_cap), p.delta, p.threads),
+        Tuning::Widths(ws) => {
+            let w = *ws.get(level - 1).or_else(|| ws.last()).unwrap_or(&8);
+            TailorPlan::new(w.min(w_cap), m_star, 256)
+        }
+    }
+}
+
+/// Sorted `(U, Σ)` extraction from a converged matrix (`columns = UΣ`).
+fn extract_u_sigma(conv: &Matrix) -> (Matrix, Vec<f64>) {
+    let (m, n) = conv.shape();
+    let order = sigma_order(conv);
+    let r = m.min(n);
+    let mut u = Matrix::zeros(m, r);
+    let mut sigma = Vec::with_capacity(r);
+    for (k, &j) in order.iter().take(r).enumerate() {
+        let s = dot(conv.col(j), conv.col(j)).sqrt();
+        sigma.push(s);
+        if s > 0.0 {
+            let src = conv.col(j);
+            let dst = u.col_mut(k);
+            for i in 0..m {
+                dst[i] = src[i] / s;
+            }
+        } else if k < m {
+            u[(k, k)] = 1.0;
+        }
+    }
+    (u, sigma)
+}
+
+/// Column indices of `conv` in order of descending column norm.
+fn sigma_order(conv: &Matrix) -> Vec<usize> {
+    let n = conv.cols();
+    let norms: Vec<f64> = (0..n).map(|j| dot(conv.col(j), conv.col(j))).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
+    order
+}
+
+fn permute_cols(m: &Matrix, order: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for (k, &j) in order.iter().enumerate() {
+        out.col_mut(k).copy_from_slice(m.col(j));
+    }
+    out
+}
+
+fn thin(m: &Matrix, r: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), r.min(m.cols()), |i, j| m[(i, j)])
+}
+
+/// Converts a Level-0 kernel result into the output form, undoing the
+/// transpose when needed.
+fn finish_one(svd: JacobiSvd, transposed: bool, want_v: bool) -> WSvd {
+    let sweeps = svd.stats.sweeps;
+    if transposed {
+        // Decomposed A^T = U_t Σ V_t^T, so A = V_t Σ U_t^T.
+        let r = svd.sigma.len();
+        WSvd {
+            u: thin(&svd.v, r),
+            sigma: svd.sigma,
+            v: want_v.then_some(svd.u),
+            sweeps,
+        }
+    } else {
+        WSvd { u: svd.u, sigma: svd.sigma, v: want_v.then_some(svd.v), sweeps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlphaSelect;
+    use wsvd_gpu_sim::V100;
+    use wsvd_linalg::generate::{random_batch, random_uniform, with_spectrum};
+    use wsvd_linalg::singular_values;
+    use wsvd_linalg::verify::orthonormality_error;
+
+    fn check_svd(a: &Matrix, out: &WSvd, tol: f64) {
+        let want = singular_values(a).unwrap();
+        assert_eq!(out.sigma.len(), want.len());
+        for (g, w) in out.sigma.iter().zip(&want) {
+            assert!((g - w).abs() < tol * (1.0 + w), "sigma {g} vs {w}");
+        }
+        assert!(out.sigma.windows(2).all(|p| p[0] >= p[1]), "not sorted");
+        assert!(orthonormality_error(&out.u) < 1e-8, "U not orthonormal");
+        if let Some(v) = &out.v {
+            assert!(orthonormality_error(v) < 1e-8, "V not orthonormal");
+            // Reconstruction through the leading r columns of V.
+            let r = out.sigma.len();
+            let mut us = out.u.clone();
+            for j in 0..r {
+                let s = out.sigma[j];
+                for x in us.col_mut(j) {
+                    *x *= s;
+                }
+            }
+            let vthin = Matrix::from_fn(a.cols(), r, |i, j| v[(i, j)]);
+            let rec = wsvd_linalg::matmul(&us, &vthin.transpose());
+            let denom = a.fro_norm().max(1e-300);
+            assert!(
+                rec.sub(a).fro_norm() / denom < 1e-8,
+                "reconstruction residual {}",
+                rec.sub(a).fro_norm() / denom
+            );
+        }
+    }
+
+    fn run(mats: &[Matrix], cfg: &WCycleConfig) -> WCycleOutput {
+        let gpu = Gpu::new(V100);
+        wcycle_svd(&gpu, mats, cfg).unwrap()
+    }
+
+    #[test]
+    fn partition_cols_ragged() {
+        assert_eq!(partition_cols(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(partition_cols(4, 2), vec![(0, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn small_matrices_go_level0() {
+        let mats = random_batch(5, 16, 16, 1);
+        let out = run(&mats, &WCycleConfig::default());
+        assert_eq!(out.stats.level0_sm_svds, 5);
+        assert_eq!(out.stats.total_rotations(), 0);
+        for (a, r) in mats.iter().zip(&out.results) {
+            check_svd(a, r, 1e-8);
+        }
+    }
+
+    #[test]
+    fn medium_matrix_uses_block_rotations() {
+        // 100x100 does not fit whole (V accumulation): goes to Level 1.
+        let mats = random_batch(2, 100, 100, 2);
+        let out = run(&mats, &WCycleConfig::default());
+        assert_eq!(out.stats.level0_sm_svds, 0);
+        assert!(out.stats.total_rotations() > 0);
+        assert!(out.stats.max_level >= 1);
+        for (a, r) in mats.iter().zip(&out.results) {
+            check_svd(a, r, 1e-8);
+            assert!(r.sweeps > 0);
+        }
+    }
+
+    #[test]
+    fn known_spectrum_through_levels() {
+        let sigma: Vec<f64> = (1..=96).rev().map(|k| k as f64 / 7.0).collect();
+        let a = with_spectrum(96, 96, &sigma, 77);
+        let out = run(&[a.clone()], &WCycleConfig::default());
+        check_svd(&a, &out.results[0], 1e-8);
+    }
+
+    #[test]
+    fn wide_input_swaps_factors() {
+        let a = random_uniform(24, 72, 5);
+        let out = run(&[a.clone()], &WCycleConfig::default());
+        let r = &out.results[0];
+        assert_eq!(r.u.shape(), (24, 24));
+        assert_eq!(r.v.as_ref().unwrap().rows(), 72);
+        check_svd(&a, r, 1e-8);
+    }
+
+    #[test]
+    fn mixed_size_batch() {
+        let mats = vec![
+            random_uniform(16, 16, 1),  // level 0
+            random_uniform(100, 100, 2), // block path
+            random_uniform(20, 60, 3),  // wide, level 0 after transpose
+        ];
+        let out = run(&mats, &WCycleConfig::default());
+        for (a, r) in mats.iter().zip(&out.results) {
+            check_svd(a, r, 1e-8);
+        }
+        assert_eq!(out.stats.level0_sm_svds, 2);
+    }
+
+    #[test]
+    fn want_v_false_skips_v() {
+        let mats = random_batch(2, 100, 100, 9);
+        let cfg = WCycleConfig { want_v: false, ..Default::default() };
+        let out = run(&mats, &cfg);
+        for r in &out.results {
+            assert!(r.v.is_none());
+        }
+        // Singular values still correct.
+        let want = singular_values(&mats[0]).unwrap();
+        for (g, w) in out.results[0].sigma.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-8 * (1.0 + w));
+        }
+    }
+
+    #[test]
+    fn deep_recursion_on_large_matrix() {
+        // 320x320: w1 from auto-tune is large; group (iii) must appear when
+        // the width cap starts at 48 (pair blocks 320x96 don't fit SVD, EVD
+        // of 96x96 doesn't fit either at w=48).
+        let cfg = WCycleConfig {
+            tuning: Tuning::Widths(vec![48, 16]),
+            ..Default::default()
+        };
+        let a = random_uniform(320, 320, 11);
+        let gpu = Gpu::new(V100);
+        let out = wcycle_svd(&gpu, std::slice::from_ref(&a), &cfg).unwrap();
+        assert!(out.stats.recursed_blocks > 0, "expected Level-2 recursion");
+        assert!(out.stats.max_level >= 2);
+        check_svd(&a, &out.results[0], 1e-8);
+    }
+
+    #[test]
+    fn fixed_width_schedule_respected() {
+        let cfg = WCycleConfig { tuning: Tuning::Widths(vec![8]), ..Default::default() };
+        let a = random_uniform(64, 64, 13);
+        let gpu = Gpu::new(V100);
+        let out = wcycle_svd(&gpu, std::slice::from_ref(&a), &cfg).unwrap();
+        assert_eq!(out.stats.widths_per_level[0], 8);
+        check_svd(&a, &out.results[0], 1e-8);
+    }
+
+    #[test]
+    fn untailored_gemm_gives_same_numerics() {
+        let a = random_uniform(96, 96, 17);
+        let tailored = run(&[a.clone()], &WCycleConfig::default());
+        let plain = run(&[a.clone()], &WCycleConfig { tailor_gemm: false, ..Default::default() });
+        for (x, y) in tailored.results[0].sigma.iter().zip(&plain.results[0].sigma) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alpha_fixed_works() {
+        let cfg = WCycleConfig { alpha: AlphaSelect::Fixed(32), ..Default::default() };
+        let mats = random_batch(3, 24, 24, 19);
+        let out = run(&mats, &cfg);
+        for (a, r) in mats.iter().zip(&out.results) {
+            check_svd(a, r, 1e-8);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        let sigma = vec![5.0, 2.0, 1.0, 0.0, 0.0, 0.0];
+        // 80x6 is tall; its 80x6 working set fits level 0. Embed in a
+        // bigger matrix instead: 100x100 of rank 50.
+        let mut s = vec![0.0; 100];
+        for (k, x) in s.iter_mut().take(50).enumerate() {
+            *x = 50.0 - k as f64;
+        }
+        let a = with_spectrum(100, 100, &s, 23);
+        let out = run(&[a.clone()], &WCycleConfig::default());
+        let got = &out.results[0].sigma;
+        for (g, w) in got.iter().zip(&s) {
+            assert!((g - w).abs() < 1e-7 * (1.0 + w), "{g} vs {w}");
+        }
+        let _ = sigma;
+    }
+
+    #[test]
+    fn qr_preconditioning_gives_identical_factorization() {
+        // A very tall matrix: with preconditioning the Jacobi workflow runs
+        // on the 24x24 R instead of 300x24 columns.
+        let a = random_uniform(300, 24, 37);
+        let plain = run(&[a.clone()], &WCycleConfig::default());
+        let pre = run(
+            &[a.clone()],
+            &WCycleConfig { qr_precondition: true, ..Default::default() },
+        );
+        check_svd(&a, &pre.results[0], 1e-8);
+        for (x, y) in plain.results[0].sigma.iter().zip(&pre.results[0].sigma) {
+            assert!((x - y).abs() < 1e-8 * (1.0 + y));
+        }
+    }
+
+    #[test]
+    fn qr_preconditioning_reduces_simulated_time_for_tall_inputs() {
+        // Tall enough that the sweeps' repeated full-height GEMMs dominate
+        // the one-shot 4mn^2 QR cost.
+        let mats = random_batch(4, 2048, 64, 39);
+        let time = |flag: bool| {
+            let gpu = Gpu::new(V100);
+            let cfg = WCycleConfig { qr_precondition: flag, ..Default::default() };
+            wcycle_svd(&gpu, &mats, &cfg).unwrap();
+            gpu.elapsed_seconds()
+        };
+        let (plain, pre) = (time(false), time(true));
+        assert!(pre < plain, "QR preconditioning should pay off: {pre} !< {plain}");
+    }
+
+    #[test]
+    fn qr_preconditioning_survives_cholqr_breakdown() {
+        // cond ~ 1e10 squares past 1/eps in the Gram: CholeskyQR fails and
+        // the Householder fallback must still deliver a correct SVD.
+        let a = wsvd_linalg::generate::with_condition_number(200, 24, 1e10, 43);
+        let out = run(
+            &[a.clone()],
+            &WCycleConfig { qr_precondition: true, ..Default::default() },
+        );
+        let want = wsvd_linalg::singular_values(&a).unwrap();
+        // The dominant half of the spectrum must hold to high relative
+        // accuracy through the preconditioner.
+        for (g, w) in out.results[0].sigma.iter().zip(&want).take(12) {
+            assert!((g - w).abs() / w < 1e-7, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn qr_preconditioning_skips_squarish_inputs() {
+        // Aspect ratio below the threshold: identical path, identical time.
+        let mats = random_batch(2, 80, 60, 41);
+        let run_t = |flag: bool| {
+            let gpu = Gpu::new(V100);
+            let cfg = WCycleConfig { qr_precondition: flag, ..Default::default() };
+            wcycle_svd(&gpu, &mats, &cfg).unwrap();
+            (gpu.elapsed_seconds(), gpu.timeline().launches)
+        };
+        assert_eq!(run_t(false), run_t(true));
+    }
+
+    #[test]
+    fn dynamic_ordering_converges_to_same_spectrum() {
+        let a = random_uniform(90, 90, 41);
+        let static_out = run(&[a.clone()], &WCycleConfig::default());
+        let dynamic_out =
+            run(&[a.clone()], &WCycleConfig { dynamic_ordering: true, ..Default::default() });
+        check_svd(&a, &dynamic_out.results[0], 1e-8);
+        for (s, d) in static_out.results[0].sigma.iter().zip(&dynamic_out.results[0].sigma) {
+            assert!((s - d).abs() < 1e-8 * (1.0 + s));
+        }
+        // Dynamic ordering must not need more sweeps than round-robin.
+        assert!(dynamic_out.results[0].sweeps <= static_out.results[0].sweeps + 1);
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_all_pairs_disjointly() {
+        let a = random_uniform(30, 24, 43);
+        let parts = partition_cols(24, 6);
+        let sched = dynamic_schedule(&a, &parts);
+        let mut seen = std::collections::HashSet::new();
+        for step in &sched {
+            let mut used = std::collections::HashSet::new();
+            for &(i, j) in step {
+                assert!(i < j);
+                assert!(seen.insert((i, j)), "pair repeated");
+                assert!(used.insert(i) && used.insert(j), "index reused in step");
+            }
+        }
+        assert_eq!(seen.len(), 4 * 3 / 2);
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected() {
+        let gpu = Gpu::new(V100);
+        let mut a = random_uniform(8, 8, 1);
+        a[(3, 3)] = f64::NAN;
+        let err = wcycle_svd(&gpu, std::slice::from_ref(&a), &WCycleConfig::default());
+        assert!(err.is_err(), "NaN input must be rejected");
+    }
+
+    #[test]
+    fn simulated_time_accumulates() {
+        let gpu = Gpu::new(V100);
+        let mats = random_batch(4, 64, 64, 29);
+        wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+        let t = gpu.timeline();
+        assert!(t.seconds > 0.0);
+        assert!(t.launches > 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! The variable-size batches of Table VI.
+//!
+//! The paper assigns SuiteSparse matrices into five groups by a size cap and
+//! batches each group. The synthetic equivalent draws matrix dimensions
+//! log-uniformly in `(cap/4, cap]` (small sparse-collection matrices skew
+//! small) with mild rectangularity, reproducing the mixed-size character
+//! that makes uniform-`w` methods size-sensitive.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsvd_linalg::generate::random_uniform;
+use wsvd_linalg::Matrix;
+
+/// One Table-VI group: every matrix dimension is `<= cap`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeGroup {
+    /// Upper bound on both dimensions.
+    pub cap: usize,
+    /// Batch size used in the paper.
+    pub batch: usize,
+}
+
+/// The five groups of Table VI.
+pub const TABLE_VI: [SizeGroup; 5] = [
+    SizeGroup { cap: 32, batch: 46 },
+    SizeGroup { cap: 64, batch: 85 },
+    SizeGroup { cap: 128, batch: 156 },
+    SizeGroup { cap: 256, batch: 243 },
+    SizeGroup { cap: 512, batch: 458 },
+];
+
+impl SizeGroup {
+    /// Generates the group's batch (deterministic per seed).
+    pub fn generate(&self, seed: u64) -> Vec<Matrix> {
+        self.generate_scaled(seed, 1.0)
+    }
+
+    /// Generates with dimensions and batch size scaled by `scale`
+    /// (minimums 4 and 1), to bound CPU runtimes.
+    pub fn generate_scaled(&self, seed: u64, scale: f64) -> Vec<Matrix> {
+        let cap = ((self.cap as f64 * scale) as usize).max(4);
+        let batch = ((self.batch as f64 * scale) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.cap as u64) << 20);
+        (0..batch)
+            .map(|k| {
+                let lo = (cap / 4).max(2) as f64;
+                let hi = cap as f64;
+                let dim = |rng: &mut StdRng| {
+                    let u: f64 = rng.gen();
+                    (lo * (hi / lo).powf(u)).round() as usize
+                };
+                let m = dim(&mut rng);
+                let n = dim(&mut rng);
+                random_uniform(m, n, seed.wrapping_add(1 + k as u64))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_batches() {
+        assert_eq!(TABLE_VI[0].batch, 46);
+        assert_eq!(TABLE_VI[4].batch, 458);
+        assert_eq!(TABLE_VI[2].cap, 128);
+    }
+
+    #[test]
+    fn generated_sizes_respect_cap() {
+        let g = TABLE_VI[1];
+        let batch = g.generate(9);
+        assert_eq!(batch.len(), 85);
+        assert!(batch.iter().all(|m| m.rows() <= 64 && m.cols() <= 64));
+        assert!(batch.iter().all(|m| m.rows() >= 2 && m.cols() >= 2));
+    }
+
+    #[test]
+    fn sizes_are_actually_mixed() {
+        let batch = TABLE_VI[2].generate(3);
+        let first = batch[0].shape();
+        assert!(batch.iter().any(|m| m.shape() != first), "all sizes equal");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TABLE_VI[0].generate(5);
+        let b = TABLE_VI[0].generate(5);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[3].as_slice(), b[3].as_slice());
+        let c = TABLE_VI[0].generate(6);
+        assert_ne!(a[3].as_slice(), c[3].as_slice());
+    }
+
+    #[test]
+    fn scaling_shrinks() {
+        let batch = TABLE_VI[4].generate_scaled(1, 0.25);
+        assert_eq!(batch.len(), 114);
+        assert!(batch.iter().all(|m| m.rows() <= 128 && m.cols() <= 128));
+    }
+}

@@ -1,0 +1,14 @@
+//! # wsvd-datasets
+//!
+//! Deterministic synthetic workloads for the W-cycle SVD evaluation:
+//! stand-ins for the SuiteSparse matrices of Table VII ([`named`]) and the
+//! variable-size batched groups of Table VI ([`groups`]). See DESIGN.md §1
+//! for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod groups;
+pub mod named;
+
+pub use groups::{SizeGroup, TABLE_VI};
+pub use named::{by_name, NamedMatrix, TABLE_VII};

@@ -1,0 +1,157 @@
+//! Multi-GPU cluster simulation (the artifact's `test_Cluster` branch).
+//!
+//! Fig. 14(b) runs the data-assimilation workload on a distributed-memory
+//! system of Vega20 GPUs driven by slurm. The model here is data-parallel
+//! batch decomposition: each device owns a shard of the batch, devices run
+//! independently (makespan = slowest shard), and every collective step pays
+//! a latency + bandwidth synchronization cost.
+
+use crate::device::DeviceSpec;
+use crate::launch::Gpu;
+
+/// A homogeneous group of simulated GPUs.
+pub struct GpuCluster {
+    gpus: Vec<Gpu>,
+    /// Per-collective latency in seconds (network + driver).
+    pub sync_latency: f64,
+    /// Interconnect bandwidth in bytes/second (per link).
+    pub link_bandwidth: f64,
+    sync_seconds: std::sync::atomic::AtomicU64,
+}
+
+impl GpuCluster {
+    /// Creates `count` devices of the same spec with default interconnect
+    /// parameters (25 GB/s links, 30 µs collective latency — IB-class).
+    pub fn new(device: DeviceSpec, count: usize) -> Self {
+        assert!(count > 0, "a cluster needs at least one device");
+        Self {
+            gpus: (0..count).map(|_| Gpu::new(device)).collect(),
+            sync_latency: 30e-6,
+            link_bandwidth: 25e9,
+            sync_seconds: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// True if the cluster has no devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// Access to one device.
+    pub fn gpu(&self, rank: usize) -> &Gpu {
+        &self.gpus[rank]
+    }
+
+    /// Splits `items` into contiguous shards, one per device, balancing
+    /// counts (the slurm-script decomposition of the artifact).
+    pub fn shard<T: Clone>(&self, items: &[T]) -> Vec<Vec<T>> {
+        let p = self.gpus.len();
+        let base = items.len() / p;
+        let extra = items.len() % p;
+        let mut shards = Vec::with_capacity(p);
+        let mut start = 0;
+        for r in 0..p {
+            let len = base + usize::from(r < extra);
+            shards.push(items[start..start + len].to_vec());
+            start += len;
+        }
+        shards
+    }
+
+    /// Records one collective (e.g. the gather of analysis weights):
+    /// latency plus `bytes` over the slowest link.
+    pub fn sync(&self, bytes: u64) {
+        let secs = self.sync_latency + bytes as f64 / self.link_bandwidth;
+        let bits = f64::to_bits(self.elapsed_sync_seconds() + secs);
+        self.sync_seconds.store(bits, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Total time spent in collectives.
+    pub fn elapsed_sync_seconds(&self) -> f64 {
+        f64::from_bits(self.sync_seconds.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Data-parallel makespan: slowest device plus the collectives.
+    pub fn elapsed_seconds(&self) -> f64 {
+        let slowest =
+            self.gpus.iter().map(|g| g.elapsed_seconds()).fold(0.0f64, f64::max);
+        slowest + self.elapsed_sync_seconds()
+    }
+
+    /// Parallel efficiency vs a hypothetical single device doing all work:
+    /// `sum(work) / (count * makespan)`.
+    pub fn parallel_efficiency(&self) -> f64 {
+        let total: f64 = self.gpus.iter().map(|g| g.elapsed_seconds()).sum();
+        let makespan = self.elapsed_seconds();
+        if makespan > 0.0 {
+            total / (self.gpus.len() as f64 * makespan)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::VEGA20;
+    use crate::launch::KernelConfig;
+
+    #[test]
+    fn shard_balances_counts() {
+        let c = GpuCluster::new(VEGA20, 3);
+        let shards = c.shard(&(0..10).collect::<Vec<_>>());
+        assert_eq!(shards.iter().map(|s| s.len()).collect::<Vec<_>>(), vec![4, 3, 3]);
+        let flat: Vec<i32> = shards.concat();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn makespan_is_slowest_shard_plus_sync() {
+        let c = GpuCluster::new(VEGA20, 2);
+        // Load rank 0 only.
+        let kc = KernelConfig::new(4, 256, 1024, "work");
+        c.gpu(0)
+            .launch_collect(kc, |_, ctx| {
+                ctx.par_step(100_000, 2);
+                Ok(())
+            })
+            .unwrap();
+        let t0 = c.gpu(0).elapsed_seconds();
+        assert!(t0 > 0.0);
+        c.sync(1_000_000);
+        let expect_sync = 30e-6 + 1e6 / 25e9;
+        assert!((c.elapsed_seconds() - (t0 + expect_sync)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_is_one_when_balanced_half_when_one_idle() {
+        let work = |gpu: &Gpu| {
+            let kc = KernelConfig::new(2, 256, 1024, "w");
+            gpu.launch_collect(kc, |_, ctx| {
+                ctx.par_step(50_000, 2);
+                Ok(())
+            })
+            .unwrap();
+        };
+        let balanced = GpuCluster::new(VEGA20, 2);
+        work(balanced.gpu(0));
+        work(balanced.gpu(1));
+        assert!((balanced.parallel_efficiency() - 1.0).abs() < 1e-9);
+
+        let skewed = GpuCluster::new(VEGA20, 2);
+        work(skewed.gpu(0));
+        assert!((skewed.parallel_efficiency() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        let _ = GpuCluster::new(VEGA20, 0);
+    }
+}

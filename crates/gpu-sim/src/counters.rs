@@ -1,0 +1,156 @@
+//! Performance counters recorded by simulated thread blocks.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one thread block during a kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockCounters {
+    /// Floating-point operations (adds, muls; one FMA counts as 2).
+    pub flops: u64,
+    /// Bytes read from global memory.
+    pub gm_load_bytes: u64,
+    /// Bytes written to global memory.
+    pub gm_store_bytes: u64,
+    /// Coalesced global-memory transactions (loads + stores).
+    pub gm_transactions: u64,
+    /// Bytes moved to/from shared memory.
+    pub smem_traffic_bytes: u64,
+    /// Critical-path length in "parallel steps" given the block's thread
+    /// assignment (the work/span model; 1 step ≈ 1 issue cycle).
+    pub span_cycles: f64,
+}
+
+impl BlockCounters {
+    /// Component-wise sum.
+    pub fn merge(&mut self, o: &BlockCounters) {
+        self.flops += o.flops;
+        self.gm_load_bytes += o.gm_load_bytes;
+        self.gm_store_bytes += o.gm_store_bytes;
+        self.gm_transactions += o.gm_transactions;
+        self.smem_traffic_bytes += o.smem_traffic_bytes;
+        self.span_cycles += o.span_cycles;
+    }
+
+    /// Total global-memory bytes moved.
+    pub fn gm_bytes(&self) -> u64 {
+        self.gm_load_bytes + self.gm_store_bytes
+    }
+}
+
+/// Aggregated result of one kernel launch.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Number of blocks in the grid.
+    pub grid: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Shared-memory bytes charged per block (peak across blocks).
+    pub smem_bytes_per_block: usize,
+    /// Sum of all block counters.
+    pub totals: BlockCounters,
+    /// Simulated kernel duration in seconds (excludes launch overhead).
+    pub kernel_seconds: f64,
+    /// Simulated launch overhead in seconds.
+    pub overhead_seconds: f64,
+    /// Occupancy of the launch (resident threads / device max).
+    pub occupancy: f64,
+}
+
+impl LaunchStats {
+    /// Total simulated seconds including overhead.
+    pub fn seconds(&self) -> f64 {
+        self.kernel_seconds + self.overhead_seconds
+    }
+}
+
+/// Running account of all launches on a [`crate::Gpu`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Total simulated time in seconds.
+    pub seconds: f64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Sum of all block counters across all launches.
+    pub totals: BlockCounters,
+    /// Thread-seconds of resident occupancy, for time-weighted occupancy.
+    occupancy_weighted: f64,
+}
+
+impl Timeline {
+    /// Records one launch.
+    pub fn record(&mut self, stats: &LaunchStats) {
+        self.seconds += stats.seconds();
+        self.launches += 1;
+        self.totals.merge(&stats.totals);
+        self.occupancy_weighted += stats.occupancy * stats.seconds();
+    }
+
+    /// Time-weighted mean occupancy over all launches.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.occupancy_weighted / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Difference of two timelines (`self` later than `earlier`), for
+    /// measuring a region of interest.
+    pub fn since(&self, earlier: &Timeline) -> Timeline {
+        Timeline {
+            seconds: self.seconds - earlier.seconds,
+            launches: self.launches - earlier.launches,
+            totals: BlockCounters {
+                flops: self.totals.flops - earlier.totals.flops,
+                gm_load_bytes: self.totals.gm_load_bytes - earlier.totals.gm_load_bytes,
+                gm_store_bytes: self.totals.gm_store_bytes - earlier.totals.gm_store_bytes,
+                gm_transactions: self.totals.gm_transactions - earlier.totals.gm_transactions,
+                smem_traffic_bytes: self.totals.smem_traffic_bytes
+                    - earlier.totals.smem_traffic_bytes,
+                span_cycles: self.totals.span_cycles - earlier.totals.span_cycles,
+            },
+            occupancy_weighted: self.occupancy_weighted - earlier.occupancy_weighted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = BlockCounters { flops: 1, gm_load_bytes: 2, ..Default::default() };
+        let b = BlockCounters { flops: 10, gm_store_bytes: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.flops, 11);
+        assert_eq!(a.gm_bytes(), 7);
+    }
+
+    #[test]
+    fn timeline_records_and_diffs() {
+        let mut t = Timeline::default();
+        let s = LaunchStats {
+            grid: 4,
+            kernel_seconds: 1.0,
+            overhead_seconds: 0.5,
+            occupancy: 0.5,
+            totals: BlockCounters { flops: 100, ..Default::default() },
+            ..Default::default()
+        };
+        t.record(&s);
+        let snap = t.clone();
+        t.record(&s);
+        assert_eq!(t.launches, 2);
+        assert!((t.seconds - 3.0).abs() < 1e-12);
+        let d = t.since(&snap);
+        assert_eq!(d.launches, 1);
+        assert_eq!(d.totals.flops, 100);
+        assert!((t.mean_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_occupancy_zero() {
+        assert_eq!(Timeline::default().mean_occupancy(), 0.0);
+    }
+}

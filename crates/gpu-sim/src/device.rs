@@ -1,0 +1,228 @@
+//! GPU device descriptions.
+//!
+//! Each [`DeviceSpec`] captures the handful of architectural parameters the
+//! paper's analysis depends on: static shared-memory capacity per thread
+//! block (48 KiB — Observation 2 in §III-A), warp width, SM count, FP64 and
+//! memory throughput (the two roofline ceilings), occupancy limits, the
+//! `Load_width` of the arithmetic-intensity model (Eq. 9), and — for the
+//! A100 — a tensor-core GEMM multiplier (Fig. 13).
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of a simulated GPU.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Static shared memory available to one thread block, in bytes.
+    pub smem_per_block_bytes: usize,
+    /// Number of streaming multiprocessors (CUs on AMD).
+    pub num_sms: usize,
+    /// Hardware limit on resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Hardware limit on resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Shared memory per SM (bounds resident blocks by their smem usage).
+    pub smem_per_sm_bytes: usize,
+    /// Threads per warp (wavefront width on AMD).
+    pub warp_size: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// FP64 FMA lanes per SM (FMA results per cycle per SM).
+    pub fp64_lanes_per_sm: usize,
+    /// Global-memory bandwidth in bytes per cycle (device-wide).
+    pub gm_bytes_per_cycle: f64,
+    /// Elements fetched per load request (`Load_width` in Eq. 9).
+    pub load_width: usize,
+    /// Fixed host-side cost of one kernel launch, in microseconds.
+    pub launch_overhead_us: f64,
+    /// GEMM throughput multiplier from tensor cores (1.0 when absent).
+    pub tensor_gemm_speedup: f64,
+    /// Size in bytes of one global-memory transaction (coalescing unit).
+    pub gm_transaction_bytes: usize,
+}
+
+impl DeviceSpec {
+    /// Peak FP64 throughput in FLOP/s (2 FLOPs per FMA).
+    pub fn peak_fp64_flops(&self) -> f64 {
+        2.0 * self.fp64_lanes_per_sm as f64 * self.num_sms as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Global-memory bandwidth in bytes/s.
+    pub fn gm_bandwidth(&self) -> f64 {
+        self.gm_bytes_per_cycle * self.clock_ghz * 1e9
+    }
+
+    /// How many blocks of the given footprint can be resident at once,
+    /// device-wide (the occupancy calculation).
+    pub fn concurrent_blocks(&self, threads_per_block: usize, smem_bytes: usize) -> usize {
+        let by_threads = if threads_per_block == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.max_threads_per_sm / threads_per_block.max(1)
+        };
+        let by_smem = if smem_bytes == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.smem_per_sm_bytes / smem_bytes
+        };
+        let per_sm = self.max_blocks_per_sm.min(by_threads).min(by_smem).max(1);
+        per_sm * self.num_sms
+    }
+
+    /// Occupancy of a launch: resident threads over the device maximum.
+    pub fn occupancy(&self, grid: usize, threads_per_block: usize, smem_bytes: usize) -> f64 {
+        let resident = grid.min(self.concurrent_blocks(threads_per_block, smem_bytes));
+        let active_threads = resident * threads_per_block;
+        (active_threads as f64 / (self.num_sms * self.max_threads_per_sm) as f64).min(1.0)
+    }
+}
+
+/// NVIDIA Tesla V100 (SXM2, 16 GB) — the paper's primary platform.
+pub const V100: DeviceSpec = DeviceSpec {
+    name: "Tesla V100",
+    smem_per_block_bytes: 48 * 1024,
+    num_sms: 80,
+    max_blocks_per_sm: 32,
+    max_threads_per_sm: 2048,
+    smem_per_sm_bytes: 96 * 1024,
+    warp_size: 32,
+    clock_ghz: 1.38,
+    fp64_lanes_per_sm: 32,
+    gm_bytes_per_cycle: 652.0, // ~900 GB/s
+    load_width: 4,
+    launch_overhead_us: 5.0,
+    tensor_gemm_speedup: 1.0,
+    gm_transaction_bytes: 32,
+};
+
+/// NVIDIA Tesla P100 (the platform of Table IV).
+pub const P100: DeviceSpec = DeviceSpec {
+    name: "Tesla P100",
+    smem_per_block_bytes: 48 * 1024,
+    num_sms: 56,
+    max_blocks_per_sm: 32,
+    max_threads_per_sm: 2048,
+    smem_per_sm_bytes: 64 * 1024,
+    warp_size: 32,
+    clock_ghz: 1.33,
+    fp64_lanes_per_sm: 32,
+    gm_bytes_per_cycle: 550.0, // ~732 GB/s
+    load_width: 4,
+    launch_overhead_us: 5.5,
+    tensor_gemm_speedup: 1.0,
+    gm_transaction_bytes: 32,
+};
+
+/// NVIDIA Ampere A100 with FP64 tensor cores (Fig. 13).
+pub const A100: DeviceSpec = DeviceSpec {
+    name: "Ampere A100",
+    smem_per_block_bytes: 48 * 1024, // static configuration, as in the paper
+    num_sms: 108,
+    max_blocks_per_sm: 32,
+    max_threads_per_sm: 2048,
+    smem_per_sm_bytes: 164 * 1024,
+    warp_size: 32,
+    clock_ghz: 1.41,
+    fp64_lanes_per_sm: 32,
+    gm_bytes_per_cycle: 1103.0, // ~1555 GB/s
+    load_width: 4,
+    launch_overhead_us: 4.0,
+    tensor_gemm_speedup: 2.0,
+    gm_transaction_bytes: 32,
+};
+
+/// NVIDIA GTX Titan X (Maxwell): weak FP64, strong relative SM benefit.
+pub const TITAN_X: DeviceSpec = DeviceSpec {
+    name: "GTX Titan X",
+    smem_per_block_bytes: 48 * 1024,
+    num_sms: 24,
+    max_blocks_per_sm: 32,
+    max_threads_per_sm: 2048,
+    smem_per_sm_bytes: 96 * 1024,
+    warp_size: 32,
+    clock_ghz: 1.0,
+    fp64_lanes_per_sm: 4, // 1/32 FP64 rate of Maxwell
+    gm_bytes_per_cycle: 336.0, // ~336 GB/s
+    load_width: 4,
+    launch_overhead_us: 6.0,
+    tensor_gemm_speedup: 1.0,
+    gm_transaction_bytes: 32,
+};
+
+/// AMD Vega20 (Radeon VII / MI50 class) under the HIP runtime.
+pub const VEGA20: DeviceSpec = DeviceSpec {
+    name: "AMD Vega20",
+    smem_per_block_bytes: 64 * 1024, // LDS per workgroup
+    num_sms: 60,
+    max_blocks_per_sm: 16,
+    max_threads_per_sm: 2048,
+    smem_per_sm_bytes: 64 * 1024,
+    warp_size: 64,
+    clock_ghz: 1.7,
+    fp64_lanes_per_sm: 16,
+    gm_bytes_per_cycle: 588.0, // ~1 TB/s HBM2
+    load_width: 4,
+    launch_overhead_us: 8.0,
+    tensor_gemm_speedup: 1.0,
+    gm_transaction_bytes: 32,
+};
+
+/// All device presets, for portability sweeps (Fig. 14a).
+pub const ALL_DEVICES: [DeviceSpec; 5] = [V100, P100, A100, TITAN_X, VEGA20];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_peak_flops_is_7_8_tflops() {
+        let p = V100.peak_fp64_flops();
+        assert!((p / 1e12 - 7.065).abs() < 0.2, "got {p}");
+    }
+
+    #[test]
+    fn concurrent_blocks_limited_by_threads() {
+        // 1024 threads/block on V100: 2 blocks per SM by threads.
+        assert_eq!(V100.concurrent_blocks(1024, 0), 2 * 80);
+    }
+
+    #[test]
+    fn concurrent_blocks_limited_by_smem() {
+        // 48 KiB blocks, 96 KiB per SM: 2 per SM.
+        assert_eq!(V100.concurrent_blocks(64, 48 * 1024), 2 * 80);
+    }
+
+    #[test]
+    fn concurrent_blocks_limited_by_hw_cap() {
+        assert_eq!(V100.concurrent_blocks(32, 128), 32 * 80);
+    }
+
+    #[test]
+    fn occupancy_grows_with_grid() {
+        let low = V100.occupancy(10, 256, 16 * 1024);
+        let high = V100.occupancy(500, 256, 16 * 1024);
+        assert!(low < high);
+        assert!(high <= 1.0);
+    }
+
+    #[test]
+    fn occupancy_clamped_at_one() {
+        assert_eq!(V100.occupancy(1_000_000, 2048, 0), 1.0);
+    }
+
+    #[test]
+    fn a100_has_tensor_speedup() {
+        assert!(A100.tensor_gemm_speedup > 1.0);
+        assert_eq!(V100.tensor_gemm_speedup, 1.0);
+    }
+
+    #[test]
+    fn all_devices_have_positive_rates() {
+        for d in ALL_DEVICES {
+            assert!(d.peak_fp64_flops() > 0.0, "{}", d.name);
+            assert!(d.gm_bandwidth() > 0.0, "{}", d.name);
+            assert!(d.concurrent_blocks(256, 1024) > 0, "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! Kernel launch machinery: block contexts, parallel execution, and the
+//! timing model that converts counters into simulated time.
+//!
+//! A launch executes its blocks as rayon tasks (the simulator's stand-in for
+//! SM scheduling). Each block records work/span and memory counters into a
+//! [`BlockCounters`]; afterwards a list scheduler places the block durations
+//! onto the device's resident-block slots and the makespan becomes the
+//! simulated kernel time. Wall-clock never enters the model, so results are
+//! deterministic and machine-independent.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::counters::{BlockCounters, LaunchStats, Timeline};
+use crate::device::DeviceSpec;
+use crate::profile::Profiler;
+use crate::smem::{SharedMem, SmemBuf, SmemOverflow};
+
+/// Per-block fixed cost (scheduling, prologue/epilogue), in cycles.
+const BLOCK_OVERHEAD_CYCLES: f64 = 200.0;
+
+/// Error raised by a simulated kernel block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelError {
+    /// A shared-memory allocation exceeded block capacity.
+    Smem(SmemOverflow),
+    /// Any other kernel failure.
+    Other(String),
+}
+
+impl From<SmemOverflow> for KernelError {
+    fn from(e: SmemOverflow) -> Self {
+        KernelError::Smem(e)
+    }
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::Smem(e) => write!(f, "{e}"),
+            KernelError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Launch geometry and resource request for one kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Number of thread blocks.
+    pub grid: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Shared memory requested per block, in bytes. Must not exceed the
+    /// device's static per-block capacity.
+    pub smem_bytes_per_block: usize,
+    /// Whether the kernel's FMAs may use tensor cores (GEMM kernels on A100).
+    pub uses_tensor_cores: bool,
+    /// Human-readable kernel name for diagnostics.
+    pub label: &'static str,
+}
+
+impl KernelConfig {
+    /// Convenience constructor with no tensor cores.
+    pub fn new(grid: usize, threads_per_block: usize, smem_bytes_per_block: usize, label: &'static str) -> Self {
+        Self { grid, threads_per_block, smem_bytes_per_block, uses_tensor_cores: false, label }
+    }
+}
+
+/// Execution context handed to each simulated thread block.
+pub struct BlockCtx {
+    smem: SharedMem,
+    counters: BlockCounters,
+    threads: usize,
+    warp_size: usize,
+    tx_bytes: usize,
+}
+
+impl BlockCtx {
+    fn new(device: &DeviceSpec, cfg: &KernelConfig) -> Self {
+        Self {
+            smem: SharedMem::new(cfg.smem_bytes_per_block),
+            counters: BlockCounters::default(),
+            threads: cfg.threads_per_block,
+            warp_size: device.warp_size,
+            tx_bytes: device.gm_transaction_bytes,
+        }
+    }
+
+    /// Threads in this block.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Device warp width.
+    #[inline]
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    /// The block's shared-memory arena.
+    #[inline]
+    pub fn smem(&self) -> &SharedMem {
+        &self.smem
+    }
+
+    /// Loads a global-memory slice into a fresh shared-memory buffer,
+    /// counting the GM traffic.
+    pub fn gm_load_to_smem(&mut self, src: &[f64]) -> Result<SmemBuf, SmemOverflow> {
+        self.count_gm_load(src.len());
+        self.smem.alloc_from(src)
+    }
+
+    /// Counts a coalesced global-memory load of `n` f64 elements.
+    pub fn count_gm_load(&mut self, n: usize) {
+        let bytes = (n * 8) as u64;
+        self.counters.gm_load_bytes += bytes;
+        self.counters.gm_transactions += bytes.div_ceil(self.tx_bytes as u64);
+        // Loading is spread over the block's threads.
+        self.counters.span_cycles += (n as f64 / self.threads as f64).ceil();
+    }
+
+    /// Counts a coalesced global-memory store of `n` f64 elements.
+    pub fn count_gm_store(&mut self, n: usize) {
+        let bytes = (n * 8) as u64;
+        self.counters.gm_store_bytes += bytes;
+        self.counters.gm_transactions += bytes.div_ceil(self.tx_bytes as u64);
+        self.counters.span_cycles += (n as f64 / self.threads as f64).ceil();
+    }
+
+    /// Copies SM data back to a global buffer, counting the store.
+    pub fn gm_store_from_smem(&mut self, src: &[f64], dst: &mut [f64]) {
+        dst.copy_from_slice(src);
+        self.count_gm_store(src.len());
+    }
+
+    /// Records an element-wise parallel step over `items` work items, each
+    /// costing `ops` scalar floating-point operations, distributed over the
+    /// block's threads.
+    pub fn par_step(&mut self, items: usize, ops: u64) {
+        self.counters.flops += items as u64 * ops;
+        self.counters.smem_traffic_bytes += items as u64 * 16; // 2 operands
+        let waves = (items as f64 / self.threads as f64).ceil();
+        self.counters.span_cycles += waves * ops as f64;
+    }
+
+    /// Records a parallel step executed by a sub-team of `team` threads
+    /// (e.g. the α-warp column-pair teams of §IV-B1). `teams` such teams run
+    /// concurrently if they fit in the block; extra teams serialize.
+    pub fn team_step(&mut self, teams: usize, team: usize, items_per_team: usize, ops: u64) {
+        let team = team.max(1);
+        self.counters.flops += (teams * items_per_team) as u64 * ops;
+        self.counters.smem_traffic_bytes += (teams * items_per_team) as u64 * 16;
+        let concurrent_teams = (self.threads / team).max(1);
+        let team_waves = (teams as f64 / concurrent_teams as f64).ceil();
+        let per_team = (items_per_team as f64 / team as f64).ceil() * ops as f64;
+        self.counters.span_cycles += team_waves * per_team;
+    }
+
+    /// Records a tree reduction of `len` values by a team of `team` threads
+    /// (inner products): `len/team` serial accumulation plus `log2(team)`
+    /// combine steps. `teams` reductions proceed concurrently.
+    pub fn team_reduce(&mut self, teams: usize, team: usize, len: usize) {
+        let team = team.max(1);
+        self.counters.flops += (teams * len) as u64 * 2; // multiply + add
+        self.counters.smem_traffic_bytes += (teams * len) as u64 * 16;
+        let concurrent_teams = (self.threads / team).max(1);
+        let team_waves = (teams as f64 / concurrent_teams as f64).ceil();
+        let depth = (team as f64).log2().ceil();
+        let per_team = (len as f64 / team as f64).ceil() * 2.0 + depth;
+        self.counters.span_cycles += team_waves * per_team;
+    }
+
+    /// Records a strictly serial section of `ops` scalar operations
+    /// (single-thread work; the enemy of Challenge 1).
+    pub fn serial_step(&mut self, ops: u64) {
+        self.counters.flops += ops;
+        self.counters.span_cycles += ops as f64;
+    }
+
+    /// Adds raw FLOPs without span (already accounted elsewhere).
+    pub fn add_flops(&mut self, flops: u64) {
+        self.counters.flops += flops;
+    }
+
+    /// Snapshot of this block's counters (peak SM usage folded in).
+    fn into_counters(self) -> BlockCounters {
+        self.counters
+    }
+}
+
+/// A simulated GPU: a device spec plus an accumulated timeline.
+pub struct Gpu {
+    device: DeviceSpec,
+    timeline: Mutex<Timeline>,
+    profiler: Mutex<Profiler>,
+}
+
+impl Gpu {
+    /// Creates a fresh GPU with an empty timeline.
+    pub fn new(device: DeviceSpec) -> Self {
+        Self {
+            device,
+            timeline: Mutex::new(Timeline::default()),
+            profiler: Mutex::new(Profiler::new()),
+        }
+    }
+
+    /// Snapshot of the per-kernel-label profile (the §V-B nvprof view).
+    pub fn profile(&self) -> Profiler {
+        self.profiler.lock().clone()
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Snapshot of the accumulated timeline.
+    pub fn timeline(&self) -> Timeline {
+        self.timeline.lock().clone()
+    }
+
+    /// Clears the timeline and the per-kernel profile.
+    pub fn reset_timeline(&self) {
+        *self.timeline.lock() = Timeline::default();
+        *self.profiler.lock() = Profiler::new();
+    }
+
+    /// Total simulated seconds so far.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.timeline.lock().seconds
+    }
+
+    /// Adds host-side serial time (e.g. per-call driver overhead of a
+    /// baseline that loops over single-matrix API calls).
+    pub fn add_host_seconds(&self, seconds: f64) {
+        self.timeline.lock().seconds += seconds;
+    }
+
+    /// Launches a kernel whose blocks each mutate one item of `items`
+    /// (`cfg.grid` must equal `items.len()`), the dominant pattern for
+    /// batched kernels (one matrix per block).
+    pub fn launch_over<T, F>(&self, cfg: KernelConfig, items: &mut [T], f: F) -> Result<LaunchStats, KernelError>
+    where
+        T: Send,
+        F: Fn(usize, &mut T, &mut BlockCtx) -> Result<(), KernelError> + Sync,
+    {
+        assert_eq!(cfg.grid, items.len(), "grid must match item count in launch_over");
+        self.check_cfg(&cfg);
+        let results: Vec<Result<BlockCounters, KernelError>> = items
+            .par_iter_mut()
+            .enumerate()
+            .map(|(b, item)| {
+                let mut ctx = BlockCtx::new(&self.device, &cfg);
+                f(b, item, &mut ctx)?;
+                Ok(ctx.into_counters())
+            })
+            .collect();
+        self.finish(cfg, results)
+    }
+
+    /// Launches a kernel whose blocks produce values (inputs captured by the
+    /// closure); returns the per-block outputs in grid order.
+    pub fn launch_collect<R, F>(&self, cfg: KernelConfig, f: F) -> Result<(Vec<R>, LaunchStats), KernelError>
+    where
+        R: Send,
+        F: Fn(usize, &mut BlockCtx) -> Result<R, KernelError> + Sync,
+    {
+        self.check_cfg(&cfg);
+        let results: Vec<Result<(R, BlockCounters), KernelError>> = (0..cfg.grid)
+            .into_par_iter()
+            .map(|b| {
+                let mut ctx = BlockCtx::new(&self.device, &cfg);
+                let r = f(b, &mut ctx)?;
+                Ok((r, ctx.into_counters()))
+            })
+            .collect();
+        let mut outs = Vec::with_capacity(cfg.grid);
+        let mut counters = Vec::with_capacity(cfg.grid);
+        for r in results {
+            let (out, c) = r?;
+            outs.push(out);
+            counters.push(Ok(c));
+        }
+        let stats = self.finish(cfg, counters)?;
+        Ok((outs, stats))
+    }
+
+    fn check_cfg(&self, cfg: &KernelConfig) {
+        assert!(
+            cfg.smem_bytes_per_block <= self.device.smem_per_block_bytes,
+            "kernel '{}' requests {} B of shared memory; device '{}' provides {} B per block",
+            cfg.label,
+            cfg.smem_bytes_per_block,
+            self.device.name,
+            self.device.smem_per_block_bytes,
+        );
+        assert!(cfg.threads_per_block > 0, "kernel '{}' has zero threads", cfg.label);
+    }
+
+    /// Converts per-block counters into simulated time and records the launch.
+    fn finish(
+        &self,
+        cfg: KernelConfig,
+        results: Vec<Result<BlockCounters, KernelError>>,
+    ) -> Result<LaunchStats, KernelError> {
+        let mut blocks = Vec::with_capacity(results.len());
+        for r in results {
+            blocks.push(r?);
+        }
+        let d = &self.device;
+        let slots = d.concurrent_blocks(cfg.threads_per_block, cfg.smem_bytes_per_block);
+        let concurrent = cfg.grid.min(slots).max(1);
+        // Per-block resource shares while `concurrent` blocks are resident.
+        let bw_share = d.gm_bytes_per_cycle / concurrent as f64;
+        let blocks_per_sm = concurrent.div_ceil(d.num_sms).max(1);
+        let mut lanes_per_block = d.fp64_lanes_per_sm as f64 / blocks_per_sm as f64;
+        if cfg.uses_tensor_cores {
+            lanes_per_block *= d.tensor_gemm_speedup;
+        }
+        let lanes_per_block = lanes_per_block.max(1.0);
+
+        // Duration of each block: roofline max of span, FLOP throughput
+        // limit, and its global-memory bandwidth share.
+        let durations: Vec<f64> = blocks
+            .iter()
+            .map(|c| {
+                let compute_span = if cfg.uses_tensor_cores {
+                    c.span_cycles / d.tensor_gemm_speedup
+                } else {
+                    c.span_cycles
+                };
+                let flop_limit = c.flops as f64 / (2.0 * lanes_per_block);
+                let mem = c.gm_bytes() as f64 / bw_share;
+                compute_span.max(flop_limit).max(mem) + BLOCK_OVERHEAD_CYCLES
+            })
+            .collect();
+
+        // List-schedule the blocks onto the resident slots.
+        let kernel_cycles = list_schedule(&durations, concurrent);
+        let kernel_seconds = kernel_cycles / (d.clock_ghz * 1e9);
+        let overhead_seconds = d.launch_overhead_us * 1e-6;
+
+        let mut totals = BlockCounters::default();
+        for c in &blocks {
+            totals.merge(c);
+        }
+        let stats = LaunchStats {
+            grid: cfg.grid,
+            threads_per_block: cfg.threads_per_block,
+            smem_bytes_per_block: cfg.smem_bytes_per_block,
+            totals,
+            kernel_seconds,
+            overhead_seconds,
+            occupancy: d.occupancy(cfg.grid, cfg.threads_per_block, cfg.smem_bytes_per_block),
+        };
+        self.timeline.lock().record(&stats);
+        self.profiler.lock().record(cfg.label, &stats);
+        Ok(stats)
+    }
+}
+
+/// Longest-processing-slot list scheduling: assigns each duration to the
+/// earliest-free of `slots` execution slots; returns the makespan.
+fn list_schedule(durations: &[f64], slots: usize) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let slots = slots.max(1);
+    if slots >= durations.len() {
+        return durations.iter().fold(0.0f64, |m, &d| m.max(d));
+    }
+    // Min-heap of slot end times, keyed by ordered bits of the f64.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..slots).map(|i| Reverse((0u64, i))).collect();
+    let mut ends = vec![0.0f64; slots];
+    for &d in durations {
+        let Reverse((_, slot)) = heap.pop().expect("heap never empty");
+        ends[slot] += d;
+        heap.push(Reverse((ends[slot].to_bits(), slot)));
+    }
+    ends.iter().fold(0.0f64, |m, &e| m.max(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::V100;
+
+    #[test]
+    fn list_schedule_fewer_jobs_than_slots() {
+        assert_eq!(list_schedule(&[3.0, 1.0, 2.0], 8), 3.0);
+    }
+
+    #[test]
+    fn list_schedule_serializes_on_one_slot() {
+        assert_eq!(list_schedule(&[3.0, 1.0, 2.0], 1), 6.0);
+    }
+
+    #[test]
+    fn list_schedule_balances_two_slots() {
+        // 4,3,3 on 2 slots -> {4, 3+3} -> 6 or {4+3, 3}=7 depending on order;
+        // earliest-free: 4->s0, 3->s1, 3->s1(end 3)->6. Makespan 6.
+        assert_eq!(list_schedule(&[4.0, 3.0, 3.0], 2), 6.0);
+    }
+
+    #[test]
+    fn launch_over_runs_every_block_and_counts() {
+        let gpu = Gpu::new(V100);
+        let mut data = vec![0.0f64; 16];
+        let cfg = KernelConfig::new(16, 64, 1024, "touch");
+        let stats = gpu
+            .launch_over(cfg, &mut data, |b, item, ctx| {
+                *item = b as f64;
+                ctx.par_step(100, 2);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(stats.grid, 16);
+        assert_eq!(stats.totals.flops, 16 * 200);
+        assert!(stats.kernel_seconds > 0.0);
+        for (b, x) in data.iter().enumerate() {
+            assert_eq!(*x, b as f64);
+        }
+        assert_eq!(gpu.timeline().launches, 1);
+    }
+
+    #[test]
+    fn smem_overflow_propagates() {
+        let gpu = Gpu::new(V100);
+        let mut data = vec![0u8; 1];
+        let cfg = KernelConfig::new(1, 32, 256, "overflow");
+        let err = gpu
+            .launch_over(cfg, &mut data, |_, _, ctx| {
+                let _ = ctx.smem().alloc(1000)?; // 8000 B > 256 B
+                Ok(())
+            })
+            .unwrap_err();
+        matches!(err, KernelError::Smem(_));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn requesting_more_than_static_capacity_panics() {
+        let gpu = Gpu::new(V100);
+        let cfg = KernelConfig::new(1, 32, 64 * 1024, "too-big");
+        let _ = gpu.launch_collect(cfg, |_, _| Ok(()));
+    }
+
+    #[test]
+    fn more_blocks_improves_throughput_until_saturation() {
+        // Same per-block work; 10 blocks vs 1000 blocks. Time per block must
+        // shrink (higher TLP) as long as slots remain.
+        let per_block_time = |grid: usize| {
+            let gpu = Gpu::new(V100);
+            let cfg = KernelConfig::new(grid, 256, 8 * 1024, "tlp");
+            let (_, stats) = gpu
+                .launch_collect(cfg, |_, ctx| {
+                    ctx.par_step(4096, 4);
+                    Ok(())
+                })
+                .unwrap();
+            stats.kernel_seconds / grid as f64
+        };
+        assert!(per_block_time(1000) < per_block_time(10) * 0.9);
+    }
+
+    #[test]
+    fn gm_traffic_increases_time() {
+        let gpu = Gpu::new(V100);
+        let cfg = KernelConfig::new(512, 256, 1024, "mem");
+        let (_, light) = gpu
+            .launch_collect(cfg, |_, ctx| {
+                ctx.par_step(1000, 2);
+                Ok(())
+            })
+            .unwrap();
+        let (_, heavy) = gpu
+            .launch_collect(cfg, |_, ctx| {
+                ctx.par_step(1000, 2);
+                ctx.count_gm_load(100_000);
+                ctx.count_gm_store(100_000);
+                Ok(())
+            })
+            .unwrap();
+        assert!(heavy.kernel_seconds > light.kernel_seconds);
+        assert!(heavy.totals.gm_transactions > 0);
+    }
+
+    #[test]
+    fn tensor_cores_speed_up_flops_bound_kernels() {
+        let run = |dev: crate::device::DeviceSpec, tensor: bool| {
+            let gpu = Gpu::new(dev);
+            let mut cfg = KernelConfig::new(256, 256, 1024, "gemm");
+            cfg.uses_tensor_cores = tensor;
+            let (_, s) = gpu
+                .launch_collect(cfg, |_, ctx| {
+                    ctx.par_step(100_000, 2);
+                    Ok(())
+                })
+                .unwrap();
+            s.kernel_seconds
+        };
+        let a100_plain = run(crate::device::A100, false);
+        let a100_tensor = run(crate::device::A100, true);
+        assert!(a100_tensor < a100_plain);
+    }
+
+    #[test]
+    fn team_step_penalizes_small_teams_with_many_items() {
+        // One team of 32 processing 320 items: 10 waves * ops.
+        let gpu = Gpu::new(V100);
+        let cfg = KernelConfig::new(1, 32, 1024, "teams");
+        let (_, one_team) = gpu
+            .launch_collect(cfg, |_, ctx| {
+                ctx.team_step(1, 32, 320, 1);
+                Ok(())
+            })
+            .unwrap();
+        // 8 teams of 4 threads, 40 items each: 2 concurrent waves of teams? threads=32
+        // concurrent_teams = 8, so 1 wave of ceil(40/4)=10 cycles.
+        let (_, many_teams) = gpu
+            .launch_collect(cfg, |_, ctx| {
+                ctx.team_step(8, 4, 40, 1);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(one_team.totals.flops, many_teams.totals.flops);
+        // 8 small teams in parallel have equal span here (10 waves each way).
+        assert!((one_team.totals.span_cycles - many_teams.totals.span_cycles).abs() < 1.0);
+    }
+
+    #[test]
+    fn serial_loop_of_launches_pays_overhead() {
+        let gpu = Gpu::new(V100);
+        for _ in 0..10 {
+            let cfg = KernelConfig::new(1, 32, 256, "tiny");
+            gpu.launch_collect(cfg, |_, ctx| {
+                ctx.serial_step(10);
+                Ok(())
+            })
+            .unwrap();
+        }
+        let t = gpu.timeline();
+        assert_eq!(t.launches, 10);
+        // Overhead dominates: at least 10 * 5 µs.
+        assert!(t.seconds >= 50e-6);
+    }
+}

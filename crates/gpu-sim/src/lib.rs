@@ -1,0 +1,33 @@
+//! # wsvd-gpu-sim
+//!
+//! A GPU *execution-model* simulator: the substitution substrate that stands
+//! in for the CUDA/HIP hardware of the W-cycle SVD paper (see DESIGN.md §1).
+//!
+//! The simulator is not cycle-accurate; it models exactly the quantities the
+//! paper's performance analysis is built on:
+//!
+//! * **static shared memory per block** (48 KiB) enforced by a real
+//!   allocator ([`SharedMem`]) — the predicate driving Algorithm 2;
+//! * **thread-level parallelism**: blocks execute as rayon tasks, and each
+//!   records a work/span estimate given its internal thread assignment
+//!   ([`BlockCtx::team_step`] / [`BlockCtx::team_reduce`]);
+//! * **global-memory traffic**: coalesced transaction counts (Fig. 11b);
+//! * **occupancy** and resident-block limits (Fig. 11a);
+//! * a **roofline timing model** with list scheduling of block durations
+//!   onto SM slots, yielding deterministic *simulated seconds*.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod counters;
+pub mod device;
+pub mod launch;
+pub mod profile;
+pub mod smem;
+
+pub use cluster::GpuCluster;
+pub use counters::{BlockCounters, LaunchStats, Timeline};
+pub use device::{DeviceSpec, ALL_DEVICES, A100, P100, TITAN_X, V100, VEGA20};
+pub use launch::{BlockCtx, Gpu, KernelConfig, KernelError};
+pub use profile::{KernelProfile, Profiler};
+pub use smem::{SharedMem, SmemBuf, SmemOverflow};

@@ -1,0 +1,151 @@
+//! Per-kernel profiling, in the spirit of the `nvprof` data behind the
+//! paper's §V-B speedup analysis.
+//!
+//! A [`Profiler`] wraps launch statistics grouped by kernel label, so a run
+//! can be broken down into "where did the simulated time and the GM traffic
+//! go" — the view Figs. 10–11 are built from.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::{BlockCounters, LaunchStats};
+
+/// Aggregated statistics for one kernel label.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Number of launches with this label.
+    pub launches: u64,
+    /// Total blocks across launches.
+    pub blocks: u64,
+    /// Summed counters.
+    pub totals: BlockCounters,
+    /// Total simulated seconds (kernel + overhead).
+    pub seconds: f64,
+    /// Time-weighted occupancy accumulator.
+    occ_weighted: f64,
+}
+
+impl KernelProfile {
+    /// Time-weighted mean occupancy for this kernel.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.occ_weighted / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Collects per-label kernel statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Profiler {
+    kernels: BTreeMap<String, KernelProfile>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one launch under `label`.
+    pub fn record(&mut self, label: &str, stats: &LaunchStats) {
+        let k = self.kernels.entry(label.to_string()).or_default();
+        k.launches += 1;
+        k.blocks += stats.grid as u64;
+        k.totals.merge(&stats.totals);
+        k.seconds += stats.seconds();
+        k.occ_weighted += stats.occupancy * stats.seconds();
+    }
+
+    /// Iterates `(label, profile)` pairs, alphabetical by label.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &KernelProfile)> {
+        self.kernels.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Profile for one label, if recorded.
+    pub fn get(&self, label: &str) -> Option<&KernelProfile> {
+        self.kernels.get(label)
+    }
+
+    /// Total simulated seconds across all kernels.
+    pub fn total_seconds(&self) -> f64 {
+        self.kernels.values().map(|k| k.seconds).sum()
+    }
+
+    /// Renders an `nvprof`-style summary table, sorted by time share.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let total = self.total_seconds().max(f64::MIN_POSITIVE);
+        let mut rows: Vec<(&str, &KernelProfile)> = self.iter().collect();
+        rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>7}  {:>9}  {:>9}  {:>12}  {:>12}  {:>6}  kernel",
+            "time%", "seconds", "launches", "flops", "gm bytes", "occ"
+        );
+        for (label, k) in rows {
+            let _ = writeln!(
+                out,
+                "{:>6.1}%  {:>9.3e}  {:>9}  {:>12.3e}  {:>12.3e}  {:>6.2}  {}",
+                100.0 * k.seconds / total,
+                k.seconds,
+                k.launches,
+                k.totals.flops as f64,
+                k.totals.gm_bytes() as f64,
+                k.mean_occupancy(),
+                label
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(grid: usize, secs: f64, flops: u64) -> LaunchStats {
+        LaunchStats {
+            grid,
+            kernel_seconds: secs,
+            totals: BlockCounters { flops, ..Default::default() },
+            occupancy: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn records_and_aggregates_by_label() {
+        let mut p = Profiler::new();
+        p.record("svd", &stats(4, 1.0, 100));
+        p.record("svd", &stats(2, 2.0, 50));
+        p.record("gemm", &stats(8, 0.5, 10));
+        let svd = p.get("svd").unwrap();
+        assert_eq!(svd.launches, 2);
+        assert_eq!(svd.blocks, 6);
+        assert_eq!(svd.totals.flops, 150);
+        assert!((svd.seconds - 3.0).abs() < 1e-12);
+        assert!((p.total_seconds() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_sorts_by_time() {
+        let mut p = Profiler::new();
+        p.record("cheap", &stats(1, 0.1, 1));
+        p.record("hot", &stats(1, 10.0, 1));
+        let s = p.render();
+        let hot_pos = s.find("hot").unwrap();
+        let cheap_pos = s.find("cheap").unwrap();
+        assert!(hot_pos < cheap_pos, "{s}");
+    }
+
+    #[test]
+    fn mean_occupancy_weighted() {
+        let mut p = Profiler::new();
+        p.record("k", &stats(1, 1.0, 0));
+        assert!((p.get("k").unwrap().mean_occupancy() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared-memory arena with hard capacity enforcement.
+//!
+//! Every thread block in the simulator owns one [`SharedMem`] sized by the
+//! device's static per-block capacity (48 KiB on the paper's platforms).
+//! Kernels *must* obtain their working buffers through it; an allocation
+//! beyond capacity fails with [`SmemOverflow`]. This makes the W-cycle's
+//! "can the SVD of `A_ij` be accomplished entirely within SM?" predicates
+//! (Algorithm 2, lines 2/8/10) real, testable decisions instead of comments.
+//!
+//! The arena is an accounting allocator: buffers own their storage (plain
+//! `Vec<f64>` handles) while the arena enforces the byte budget, so kernels
+//! can use ordinary slice/`Matrix` code on SM-resident data.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Error returned when a shared-memory allocation exceeds block capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmemOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes still available in the arena.
+    pub available: usize,
+    /// Total arena capacity in bytes.
+    pub capacity: usize,
+}
+
+impl fmt::Display for SmemOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shared memory overflow: requested {} B, available {} B of {} B",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for SmemOverflow {}
+
+/// Per-block shared-memory budget tracker.
+pub struct SharedMem {
+    capacity: usize,
+    used: Rc<Cell<usize>>,
+    peak: Rc<Cell<usize>>,
+}
+
+/// An SM-resident `f64` buffer. Storage is owned; the bytes stay charged to
+/// the arena until the buffer is dropped.
+#[derive(Debug)]
+pub struct SmemBuf {
+    data: Vec<f64>,
+    used: Rc<Cell<usize>>,
+}
+
+impl SharedMem {
+    /// Creates an arena with the given capacity in bytes.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity: capacity_bytes,
+            used: Rc::new(Cell::new(0)),
+            peak: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Allocates `n` zeroed `f64` elements, or fails if the budget would be
+    /// exceeded.
+    pub fn alloc(&self, n: usize) -> Result<SmemBuf, SmemOverflow> {
+        let bytes = n * std::mem::size_of::<f64>();
+        let used = self.used.get();
+        if used + bytes > self.capacity {
+            return Err(SmemOverflow {
+                requested: bytes,
+                available: self.capacity - used,
+                capacity: self.capacity,
+            });
+        }
+        self.used.set(used + bytes);
+        if self.used.get() > self.peak.get() {
+            self.peak.set(self.used.get());
+        }
+        Ok(SmemBuf { data: vec![0.0; n], used: Rc::clone(&self.used) })
+    }
+
+    /// Allocates and fills from a global-memory slice (callers should count
+    /// the GM traffic via the block context).
+    pub fn alloc_from(&self, src: &[f64]) -> Result<SmemBuf, SmemOverflow> {
+        let mut b = self.alloc(src.len())?;
+        b.as_mut_slice().copy_from_slice(src);
+        Ok(b)
+    }
+
+    /// Returns whether `n` additional `f64`s would fit right now.
+    pub fn would_fit(&self, n: usize) -> bool {
+        self.used.get() + n * std::mem::size_of::<f64>() <= self.capacity
+    }
+
+    /// Currently allocated bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used.get()
+    }
+
+    /// High-water mark of allocated bytes over the arena's lifetime.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.get()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl SmemBuf {
+    /// Read access to the buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Write access to the buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Number of `f64` elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Drop for SmemBuf {
+    fn drop(&mut self) {
+        let bytes = self.data.len() * std::mem::size_of::<f64>();
+        self.used.set(self.used.get().saturating_sub(bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_capacity() {
+        let sm = SharedMem::new(1024);
+        let b = sm.alloc(100).unwrap(); // 800 bytes
+        assert_eq!(b.len(), 100);
+        assert_eq!(sm.used_bytes(), 800);
+        assert!(sm.would_fit(28));
+        assert!(!sm.would_fit(29));
+    }
+
+    #[test]
+    fn alloc_beyond_capacity_fails() {
+        let sm = SharedMem::new(48 * 1024);
+        // 6144 f64s fill 48 KiB exactly.
+        let _a = sm.alloc(6144).unwrap();
+        let err = sm.alloc(1).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert_eq!(err.capacity, 48 * 1024);
+    }
+
+    #[test]
+    fn drop_releases_budget() {
+        let sm = SharedMem::new(800);
+        {
+            let _b = sm.alloc(100).unwrap();
+            assert_eq!(sm.used_bytes(), 800);
+        }
+        assert_eq!(sm.used_bytes(), 0);
+        assert_eq!(sm.peak_bytes(), 800);
+        let _c = sm.alloc(100).unwrap();
+    }
+
+    #[test]
+    fn alloc_from_copies() {
+        let sm = SharedMem::new(1024);
+        let src = [1.0, 2.0, 3.0];
+        let b = sm.alloc_from(&src).unwrap();
+        assert_eq!(b.as_slice(), &src);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let sm = SharedMem::new(1600);
+        let a = sm.alloc(100).unwrap();
+        let b = sm.alloc(100).unwrap();
+        drop(a);
+        drop(b);
+        let _c = sm.alloc(10).unwrap();
+        assert_eq!(sm.peak_bytes(), 1600);
+    }
+
+    #[test]
+    fn overflow_error_displays() {
+        let sm = SharedMem::new(8);
+        let err = sm.alloc(2).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("16 B"), "{msg}");
+    }
+}

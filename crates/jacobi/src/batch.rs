@@ -1,0 +1,132 @@
+//! Batched wrappers: one simulated thread block per matrix.
+//!
+//! These are the "batched SVD kernel" and "batched EVD kernel" invoked at
+//! every level of the W-cycle (Algorithm 2, lines 3/9/11) and by the
+//! baselines. Each launch assigns matrix `k` to block `k`; blocks run
+//! concurrently under the simulator's scheduler, so large batches raise
+//! occupancy exactly as in Fig. 11(a).
+
+use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError, LaunchStats};
+use wsvd_linalg::Matrix;
+
+use crate::evd::{evd_in_block, EvdConfig, JacobiEvd};
+use crate::onesided::{svd_in_block, JacobiSvd, MemSpace, OneSidedConfig};
+
+/// Batched one-sided Jacobi SVD with working sets in shared memory.
+///
+/// Fails with [`KernelError::Smem`] if any matrix's working set exceeds the
+/// device's static per-block capacity — callers are expected to have
+/// filtered with [`crate::fits::svd_fits_in_sm`] first (Algorithm 2).
+pub fn batched_svd_sm(
+    gpu: &Gpu,
+    mats: &[Matrix],
+    cfg: &OneSidedConfig,
+    threads_per_block: usize,
+) -> Result<(Vec<JacobiSvd>, LaunchStats), KernelError> {
+    let kc = KernelConfig::new(
+        mats.len(),
+        threads_per_block,
+        gpu.device().smem_per_block_bytes,
+        "batched_svd_sm",
+    );
+    gpu.launch_collect(kc, |b, ctx| svd_in_block(&mats[b], cfg, ctx, MemSpace::Shared))
+}
+
+/// Batched one-sided Jacobi SVD operating directly on global memory (the
+/// slow path of Fig. 1; used by baselines for matrices that overflow SM).
+pub fn batched_svd_gm(
+    gpu: &Gpu,
+    mats: &[Matrix],
+    cfg: &OneSidedConfig,
+    threads_per_block: usize,
+) -> Result<(Vec<JacobiSvd>, LaunchStats), KernelError> {
+    let kc = KernelConfig::new(mats.len(), threads_per_block, 0, "batched_svd_gm");
+    gpu.launch_collect(kc, |b, ctx| svd_in_block(&mats[b], cfg, ctx, MemSpace::Global))
+}
+
+/// Batched two-sided Jacobi EVD in shared memory (Algorithm 2, line 11).
+pub fn batched_evd_sm(
+    gpu: &Gpu,
+    mats: &[Matrix],
+    cfg: &EvdConfig,
+    threads_per_block: usize,
+) -> Result<(Vec<JacobiEvd>, LaunchStats), KernelError> {
+    let kc = KernelConfig::new(
+        mats.len(),
+        threads_per_block,
+        gpu.device().smem_per_block_bytes,
+        "batched_evd_sm",
+    );
+    gpu.launch_collect(kc, |b, ctx| evd_in_block(&mats[b], cfg, ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onesided::OneSidedConfig;
+    use wsvd_gpu_sim::V100;
+    use wsvd_linalg::generate::{random_batch, random_symmetric};
+    use wsvd_linalg::singular_values;
+
+    #[test]
+    fn batched_svd_sm_matches_reference_per_matrix() {
+        let gpu = Gpu::new(V100);
+        let mats = random_batch(8, 16, 12, 42);
+        let (outs, stats) =
+            batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
+        assert_eq!(outs.len(), 8);
+        assert_eq!(stats.grid, 8);
+        for (a, svd) in mats.iter().zip(&outs) {
+            let want = singular_values(a).unwrap();
+            for (g, w) in svd.sigma.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_batches_raise_occupancy() {
+        let occ = |count: usize| {
+            let gpu = Gpu::new(V100);
+            let mats = random_batch(count, 16, 16, 7);
+            let (_, stats) =
+                batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
+            stats.occupancy
+        };
+        assert!(occ(200) > occ(10));
+    }
+
+    #[test]
+    fn gm_variant_is_slower_than_sm() {
+        let gpu = Gpu::new(V100);
+        let mats = random_batch(16, 24, 16, 9);
+        let (_, sm) = batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
+        let (_, gm) = batched_svd_gm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
+        assert!(
+            gm.kernel_seconds > sm.kernel_seconds,
+            "GM {} should exceed SM {}",
+            gm.kernel_seconds,
+            sm.kernel_seconds
+        );
+    }
+
+    #[test]
+    fn batched_evd_diagonalizes_batch() {
+        let gpu = Gpu::new(V100);
+        let mats: Vec<Matrix> = (0..6).map(|k| random_symmetric(12, k as u64)).collect();
+        let (outs, _) = batched_evd_sm(&gpu, &mats, &EvdConfig::default(), 256).unwrap();
+        for (b, evd) in mats.iter().zip(&outs) {
+            assert!(evd.converged);
+            assert!(wsvd_linalg::svd::evd_residual(b, &evd.j, &evd.lambda) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_ok() {
+        let gpu = Gpu::new(V100);
+        let (outs, stats) =
+            batched_svd_sm(&gpu, &[], &OneSidedConfig::default(), 128).unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(stats.grid, 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Implicit-shift QR iteration on a bidiagonal matrix.
+//!
+//! Second stage of the two-stage (MAGMA-style) SVD: given the bidiagonal
+//! `B = U_b^T A V_b`, diagonalize `B = P Σ Q^T` with chains of Givens
+//! rotations, accumulating `P` into `U` and `Q` into `V`. The control
+//! structure (deflation cases, Wilkinson-like shift, bulge chase) follows the
+//! classic Golub–Reinsch / JAMA formulation.
+
+use crate::matrix::Matrix;
+
+const MAX_ITERS_PER_VALUE: usize = 75;
+
+/// Machine epsilon used in the negligibility tests.
+const EPS: f64 = f64::EPSILON;
+/// Underflow guard (2^-966, as in LAPACK's dbdsqr port).
+const TINY: f64 = 1.2037062152420224e-291;
+
+#[inline]
+fn hypot(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+#[inline]
+fn rotate_cols(m: &mut Matrix, j: usize, k: usize, cs: f64, sn: f64) {
+    let rows = m.rows();
+    let (cj, ck) = m.col_pair_mut(j, k);
+    for i in 0..rows {
+        let t = cs * cj[i] + sn * ck[i];
+        ck[i] = -sn * cj[i] + cs * ck[i];
+        cj[i] = t;
+    }
+}
+
+/// Diagonalizes an upper-bidiagonal matrix in place.
+///
+/// * `s` — main diagonal (length `n`), overwritten with the singular values
+///   (non-negative, unordered on return).
+/// * `e` — superdiagonal (length `n`; `e[n-1]` must be 0), destroyed.
+/// * `u` — if `Some`, an `m x n` matrix whose columns are combined by the
+///   left rotations (pass `U_b` from the bidiagonalization).
+/// * `v` — if `Some`, an `n x n` matrix combined by the right rotations.
+///
+/// Returns the number of QR iterations performed, or `Err` if a singular
+/// value failed to converge (never observed for finite input; guards against
+/// NaN poisoning).
+pub fn bidiag_qr(
+    s: &mut [f64],
+    e: &mut [f64],
+    mut u: Option<&mut Matrix>,
+    mut v: Option<&mut Matrix>,
+) -> Result<usize, String> {
+    let n = s.len();
+    assert_eq!(e.len(), n, "superdiagonal buffer must have length n (last element 0)");
+    if n == 0 {
+        return Ok(0);
+    }
+    // Norm-level threshold for the escalation path below: when a cluster of
+    // noise-floor values (|s| ~ eps*||B||) stalls the relative negligibility
+    // test, couplings below eps*||B|| are deflated absolutely — they carry
+    // no information above the round-off of the factorization itself.
+    let amax = s
+        .iter()
+        .chain(e.iter())
+        .fold(0.0f64, |m, &x| m.max(x.abs()));
+    let abs_thresh = EPS * amax;
+
+    let mut p = n;
+    let mut total_iters = 0usize;
+    let mut iter = 0usize;
+
+    while p > 0 {
+        if iter == MAX_ITERS_PER_VALUE / 2 {
+            // Escalate: absolute deflation of noise-level couplings.
+            for x in e[..p - 1].iter_mut() {
+                if x.abs() <= abs_thresh {
+                    *x = 0.0;
+                }
+            }
+        }
+        if iter > MAX_ITERS_PER_VALUE {
+            return Err(format!("bidiagonal QR failed to converge (p = {p})"));
+        }
+
+        // Find the largest k such that e[k] is negligible (split point).
+        let mut k = p as isize - 2;
+        while k >= 0 {
+            let ku = k as usize;
+            if e[ku].abs() <= TINY + EPS * (s[ku].abs() + s[ku + 1].abs()) {
+                e[ku] = 0.0;
+                break;
+            }
+            k -= 1;
+        }
+
+        let kase;
+        if k == p as isize - 2 {
+            kase = 4; // s[p-1] has converged.
+        } else {
+            let mut ks = p as isize - 1;
+            while ks > k {
+                let ksu = ks as usize;
+                let t = (if ks != p as isize - 1 { e[ksu].abs() } else { 0.0 })
+                    + (if ks != k + 1 { e[ksu - 1].abs() } else { 0.0 });
+                if s[ksu].abs() <= TINY + EPS * t {
+                    s[ksu] = 0.0;
+                    break;
+                }
+                ks -= 1;
+            }
+            if ks == k {
+                kase = 3; // QR step on the unreduced block.
+            } else if ks == p as isize - 1 {
+                kase = 1; // Deflate negligible s[p-1].
+            } else {
+                kase = 2; // Split at negligible s[ks].
+                k = ks;
+            }
+        }
+        let k = (k + 1) as usize;
+
+        match kase {
+            // Deflate negligible s[p-1]: chase e[p-2] up with right rotations.
+            1 => {
+                let mut f = e[p - 2];
+                e[p - 2] = 0.0;
+                for j in (k..p - 1).rev() {
+                    let t = hypot(s[j], f);
+                    let cs = s[j] / t;
+                    let sn = f / t;
+                    s[j] = t;
+                    if j != k {
+                        f = -sn * e[j - 1];
+                        e[j - 1] *= cs;
+                    }
+                    if let Some(v) = v.as_deref_mut() {
+                        rotate_cols(v, j, p - 1, cs, sn);
+                    }
+                }
+            }
+            // Split at negligible s[k-1]: chase e[k-1] right with left rotations.
+            2 => {
+                let mut f = e[k - 1];
+                e[k - 1] = 0.0;
+                for j in k..p {
+                    let t = hypot(s[j], f);
+                    let cs = s[j] / t;
+                    let sn = f / t;
+                    s[j] = t;
+                    f = -sn * e[j];
+                    e[j] *= cs;
+                    if let Some(u) = u.as_deref_mut() {
+                        rotate_cols(u, j, k - 1, cs, sn);
+                    }
+                }
+            }
+            // One implicit-shift QR step.
+            3 => {
+                // Shift from the trailing 2x2 of B^T B, scaled for safety.
+                let scale = s[p - 1]
+                    .abs()
+                    .max(s[p - 2].abs())
+                    .max(e[p - 2].abs())
+                    .max(s[k].abs())
+                    .max(e[k].abs());
+                let sp = s[p - 1] / scale;
+                let spm1 = s[p - 2] / scale;
+                let epm1 = e[p - 2] / scale;
+                let sk = s[k] / scale;
+                let ek = e[k] / scale;
+                let b = ((spm1 + sp) * (spm1 - sp) + epm1 * epm1) / 2.0;
+                let c = (sp * epm1) * (sp * epm1);
+                let mut shift = 0.0;
+                if b != 0.0 || c != 0.0 {
+                    shift = (b * b + c).sqrt();
+                    if b < 0.0 {
+                        shift = -shift;
+                    }
+                    shift = c / (b + shift);
+                }
+                let mut f = (sk + sp) * (sk - sp) + shift;
+                let mut g = sk * ek;
+
+                // Chase the bulge.
+                for j in k..p - 1 {
+                    let t = hypot(f, g);
+                    let cs = f / t;
+                    let sn = g / t;
+                    if j != k {
+                        e[j - 1] = t;
+                    }
+                    f = cs * s[j] + sn * e[j];
+                    e[j] = cs * e[j] - sn * s[j];
+                    g = sn * s[j + 1];
+                    s[j + 1] *= cs;
+                    if let Some(v) = v.as_deref_mut() {
+                        rotate_cols(v, j, j + 1, cs, sn);
+                    }
+                    let t = hypot(f, g);
+                    let cs = f / t;
+                    let sn = g / t;
+                    s[j] = t;
+                    f = cs * e[j] + sn * s[j + 1];
+                    s[j + 1] = -sn * e[j] + cs * s[j + 1];
+                    if j < p - 2 {
+                        g = sn * e[j + 1];
+                        e[j + 1] *= cs;
+                    }
+                    if let Some(u) = u.as_deref_mut() {
+                        rotate_cols(u, j, j + 1, cs, sn);
+                    }
+                }
+                e[p - 2] = f;
+                iter += 1;
+                total_iters += 1;
+            }
+            // Convergence of s[p-1].
+            _ => {
+                // Make the singular value non-negative.
+                if s[p - 1] < 0.0 {
+                    s[p - 1] = -s[p - 1];
+                    if let Some(v) = v.as_deref_mut() {
+                        let col = v.col_mut(p - 1);
+                        for x in col.iter_mut() {
+                            *x = -*x;
+                        }
+                    }
+                }
+                iter = 0;
+                p -= 1;
+            }
+        }
+    }
+    Ok(total_iters)
+}
+
+/// Sorts singular values descending, permuting the columns of `u`/`v` in step.
+pub fn sort_svd(s: &mut [f64], mut u: Option<&mut Matrix>, mut v: Option<&mut Matrix>) {
+    let n = s.len();
+    // Selection sort: n is small and we need synchronized column swaps.
+    for i in 0..n {
+        let mut max_j = i;
+        for j in i + 1..n {
+            if s[j] > s[max_j] {
+                max_j = j;
+            }
+        }
+        if max_j != i {
+            s.swap(i, max_j);
+            if let Some(u) = u.as_deref_mut() {
+                u.swap_cols(i, max_j);
+            }
+            if let Some(v) = v.as_deref_mut() {
+                v.swap_cols(i, max_j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gram, matmul};
+
+    fn rebuild(s: &[f64], u: &Matrix, v: &Matrix) -> Matrix {
+        let mut sigma = Matrix::zeros(u.cols(), v.cols());
+        for (i, &x) in s.iter().enumerate() {
+            sigma[(i, i)] = x;
+        }
+        matmul(&matmul(u, &sigma), &v.transpose())
+    }
+
+    #[test]
+    fn diagonal_input_is_fixed_point() {
+        let mut s = vec![3.0, 1.0, 2.0];
+        let mut e = vec![0.0, 0.0, 0.0];
+        let iters = bidiag_qr(&mut s, &mut e, None, None).unwrap();
+        assert_eq!(iters, 0);
+        assert_eq!(s, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        // B = [[1, 1], [0, 1]]: singular values are golden-ratio related:
+        // sigma = sqrt((3 ± sqrt(5))/2).
+        let mut s = vec![1.0, 1.0];
+        let mut e = vec![1.0, 0.0];
+        let mut u = Matrix::identity(2);
+        let mut v = Matrix::identity(2);
+        bidiag_qr(&mut s, &mut e, Some(&mut u), Some(&mut v)).unwrap();
+        sort_svd(&mut s, Some(&mut u), Some(&mut v));
+        let exp_hi = ((3.0 + 5f64.sqrt()) / 2.0).sqrt();
+        let exp_lo = ((3.0 - 5f64.sqrt()) / 2.0).sqrt();
+        assert!((s[0] - exp_hi).abs() < 1e-12);
+        assert!((s[1] - exp_lo).abs() < 1e-12);
+        let b = Matrix::from_rows(2, 2, &[1., 1., 0., 1.]);
+        assert!(rebuild(&s, &u, &v).sub(&b).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_bidiagonal_reconstruction_and_orthogonality() {
+        let n = 12;
+        let mut s: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 19) as f64 - 9.0).collect();
+        let mut e: Vec<f64> = (0..n).map(|i| ((i * 23 + 5) % 17) as f64 - 8.0).collect();
+        e[n - 1] = 0.0;
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = s[i];
+            if i + 1 < n {
+                b[(i, i + 1)] = e[i];
+            }
+        }
+        let mut u = Matrix::identity(n);
+        let mut v = Matrix::identity(n);
+        bidiag_qr(&mut s, &mut e, Some(&mut u), Some(&mut v)).unwrap();
+        sort_svd(&mut s, Some(&mut u), Some(&mut v));
+
+        assert!(s.iter().all(|&x| x >= 0.0), "negative singular value");
+        assert!(s.windows(2).all(|w| w[0] >= w[1]), "not sorted descending");
+        assert!(gram(&u).sub(&Matrix::identity(n)).max_abs() < 1e-12);
+        assert!(gram(&v).sub(&Matrix::identity(n)).max_abs() < 1e-12);
+        assert!(rebuild(&s, &u, &v).sub(&b).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn handles_zero_diagonal_entry() {
+        // A zero on the diagonal forces the kase-2 split path.
+        let mut s = vec![2.0, 0.0, 3.0];
+        let mut e = vec![1.0, 1.0, 0.0];
+        let mut b = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            b[(i, i)] = s[i];
+            if i < 2 {
+                b[(i, i + 1)] = e[i];
+            }
+        }
+        let mut u = Matrix::identity(3);
+        let mut v = Matrix::identity(3);
+        bidiag_qr(&mut s, &mut e, Some(&mut u), Some(&mut v)).unwrap();
+        sort_svd(&mut s, Some(&mut u), Some(&mut v));
+        assert!(rebuild(&s, &u, &v).sub(&b).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_is_descending_and_consistent() {
+        let mut s = vec![1.0, 4.0, 2.0];
+        let mut u = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let u0 = u.clone();
+        sort_svd(&mut s, Some(&mut u), None);
+        assert_eq!(s, vec![4.0, 2.0, 1.0]);
+        assert_eq!(u.col(0), u0.col(1));
+        assert_eq!(u.col(1), u0.col(2));
+        assert_eq!(u.col(2), u0.col(0));
+    }
+}

@@ -1,0 +1,235 @@
+//! General matrix multiplication kernels.
+//!
+//! These are the CPU reference kernels underlying the batched GEMM layer.
+//! `gemm` is a cache-blocked triple loop in `jki` order (column-major
+//! friendly: the innermost loop streams down contiguous columns of `A` and
+//! `C`). The `gram` and `apply_right` helpers are the two GEMM shapes that
+//! dominate the W-cycle workflow (Algorithm 1, lines 5 and 7).
+
+use crate::matrix::Matrix;
+
+/// Operation applied to a GEMM operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the matrix as stored.
+    NoTrans,
+    /// Use the transpose of the stored matrix.
+    Trans,
+}
+
+impl Op {
+    fn dims(self, m: &Matrix) -> (usize, usize) {
+        match self {
+            Op::NoTrans => (m.rows(), m.cols()),
+            Op::Trans => (m.cols(), m.rows()),
+        }
+    }
+}
+
+/// Cache-block edge for the k dimension.
+const KC: usize = 256;
+
+/// `C = alpha * op_a(A) * op_b(B) + beta * C`.
+///
+/// Panics on dimension mismatch.
+pub fn gemm(alpha: f64, a: &Matrix, op_a: Op, b: &Matrix, op_b: Op, beta: f64, c: &mut Matrix) {
+    let (m, ka) = op_a.dims(a);
+    let (kb, n) = op_b.dims(b);
+    assert_eq!(ka, kb, "gemm inner dimensions differ: {ka} vs {kb}");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    let k = ka;
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.as_mut_slice().fill(0.0);
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Materialize op_a(A) column-major once when A is transposed so the inner
+    // loops always stream contiguous columns.
+    let a_eff;
+    let a_ref = match op_a {
+        Op::NoTrans => a,
+        Op::Trans => {
+            a_eff = a.transpose();
+            &a_eff
+        }
+    };
+
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        for j in 0..n {
+            for p in k0..k1 {
+                let b_pj = match op_b {
+                    Op::NoTrans => b[(p, j)],
+                    Op::Trans => b[(j, p)],
+                };
+                if b_pj == 0.0 {
+                    continue;
+                }
+                let s = alpha * b_pj;
+                let a_col = a_ref.col(p);
+                let c_col = c.col_mut(j);
+                for i in 0..m {
+                    c_col[i] += s * a_col[i];
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: `A * B` as a fresh matrix.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, Op::NoTrans, b, Op::NoTrans, 0.0, &mut c);
+    c
+}
+
+/// Gram matrix `B = A^T A` (first batched GEMM of each W-cycle level).
+///
+/// Exploits symmetry: only the upper triangle is computed, then mirrored.
+pub fn gram(a: &Matrix) -> Matrix {
+    let n = a.cols();
+    let mut b = Matrix::zeros(n, n);
+    for j in 0..n {
+        let aj = a.col(j);
+        for i in 0..=j {
+            let ai = a.col(i);
+            let mut s = 0.0;
+            for r in 0..a.rows() {
+                s += ai[r] * aj[r];
+            }
+            b[(i, j)] = s;
+            b[(j, i)] = s;
+        }
+    }
+    b
+}
+
+/// In-place right update `A <- A * J` (second batched GEMM of each level).
+pub fn apply_right(a: &mut Matrix, j: &Matrix) {
+    assert_eq!(a.cols(), j.rows());
+    let result = matmul(a, j);
+    *a = result;
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut s = 0.0;
+    for i in 0..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// FLOP count of `C += op(A)*op(B)` with inner dimension `k`: one FMA per
+/// `m*n*k` (counted as 2 floating point ops, the convention of the paper's
+/// `num_FMA` model in §IV-D2 uses FMA instructions; we expose both).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.shape() == b.shape() && a.sub(b).max_abs() < tol
+    }
+
+    #[test]
+    fn small_matmul() {
+        let a = Matrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_rows(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        let expect = Matrix::from_rows(2, 2, &[58., 64., 139., 154.]);
+        assert!(approx_eq(&c, &expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_trans_a() {
+        let a = Matrix::from_rows(3, 2, &[1., 4., 2., 5., 3., 6.]);
+        let b = Matrix::from_rows(3, 2, &[7., 10., 8., 11., 9., 12.]);
+        let mut c = Matrix::zeros(2, 2);
+        gemm(1.0, &a, Op::Trans, &b, Op::NoTrans, 0.0, &mut c);
+        // A^T is [[1,2,3],[4,5,6]]
+        let expect = Matrix::from_rows(2, 2, &[50., 68., 122., 167.]);
+        assert!(approx_eq(&c, &expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_trans_b() {
+        let a = Matrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_rows(2, 3, &[7., 9., 11., 8., 10., 12.]);
+        let mut c = Matrix::zeros(2, 2);
+        gemm(1.0, &a, Op::NoTrans, &b, Op::Trans, 0.0, &mut c);
+        let expect = Matrix::from_rows(2, 2, &[58., 64., 139., 154.]);
+        assert!(approx_eq(&c, &expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(2, 2, &[1., 2., 3., 4.]);
+        let mut c = Matrix::from_rows(2, 2, &[10., 10., 10., 10.]);
+        gemm(2.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.5, &mut c);
+        let expect = Matrix::from_rows(2, 2, &[7., 9., 11., 13.]);
+        assert!(approx_eq(&c, &expect, 1e-12));
+    }
+
+    #[test]
+    fn gram_matches_explicit() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 2)) as f64 / 7.0);
+        let g = gram(&a);
+        let mut g2 = Matrix::zeros(3, 3);
+        gemm(1.0, &a, Op::Trans, &a, Op::NoTrans, 0.0, &mut g2);
+        assert!(approx_eq(&g, &g2, 1e-12));
+        // Symmetry.
+        assert!(approx_eq(&g, &g.transpose(), 0.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn apply_right_identity_is_noop() {
+        let mut a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let orig = a.clone();
+        apply_right(&mut a, &Matrix::identity(3));
+        assert!(approx_eq(&a, &orig, 1e-15));
+    }
+
+    #[test]
+    fn blocked_k_matches_unblocked() {
+        // k larger than KC exercises the k-blocking path.
+        let k = KC + 17;
+        let a = Matrix::from_fn(4, k, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(k, 3, |i, j| ((i * 5 + j * 11) % 17) as f64 - 8.0);
+        let c = matmul(&a, &b);
+        let mut expect = Matrix::zeros(4, 3);
+        for i in 0..4 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                expect[(i, j)] = s;
+            }
+        }
+        assert!(approx_eq(&c, &expect, 1e-9));
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+    }
+
+    #[test]
+    fn flops_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

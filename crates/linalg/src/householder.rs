@@ -1,0 +1,259 @@
+//! Householder reflectors and Golub–Kahan bidiagonalization.
+//!
+//! This is the substrate for the MAGMA-like baseline (two-stage SVD:
+//! bidiagonalize, then implicit-shift QR on the bidiagonal), and doubles as
+//! an independent numerical oracle for testing the Jacobi kernels.
+
+use crate::gemm::dot;
+use crate::matrix::Matrix;
+
+/// A Householder reflector `H = I - beta * v v^T` stored as `(v, beta)`.
+///
+/// `v[0]` is normalized to 1 so only the tail needs storage in packed forms;
+/// we keep the full vector for clarity.
+#[derive(Clone, Debug)]
+pub struct Reflector {
+    /// The Householder vector with `v[0] = 1`.
+    pub v: Vec<f64>,
+    /// The scalar `beta = 2 / (v^T v)` (or 0 for the identity reflector).
+    pub beta: f64,
+}
+
+/// Computes a reflector that maps `x` onto `(±||x||, 0, …, 0)`.
+///
+/// Uses the sign choice that avoids cancellation. Returns the reflector and
+/// the resulting leading entry `±||x||`.
+pub fn householder(x: &[f64]) -> (Reflector, f64) {
+    let n = x.len();
+    assert!(n > 0);
+    let sigma: f64 = x[1..].iter().map(|v| v * v).sum();
+    let mut v = x.to_vec();
+    v[0] = 1.0;
+    if sigma == 0.0 {
+        // Already of the form (x0, 0, ..., 0): reflect only if x0 < 0.
+        if x[0] >= 0.0 {
+            return (Reflector { v, beta: 0.0 }, x[0]);
+        }
+        return (Reflector { v, beta: 2.0 }, -x[0]);
+    }
+    let mu = (x[0] * x[0] + sigma).sqrt();
+    let v0 = if x[0] <= 0.0 { x[0] - mu } else { -sigma / (x[0] + mu) };
+    let beta = 2.0 * v0 * v0 / (sigma + v0 * v0);
+    for item in v.iter_mut().skip(1) {
+        *item /= v0;
+    }
+    v[0] = 1.0;
+    (Reflector { v, beta }, mu)
+}
+
+/// Applies `H = I - beta v v^T` from the left to the trailing block of `a`
+/// starting at `(row, col)`: rows `row..row+v.len()`, columns `col..`.
+pub fn apply_left(a: &mut Matrix, h: &Reflector, row: usize, col: usize) {
+    if h.beta == 0.0 {
+        return;
+    }
+    let k = h.v.len();
+    for j in col..a.cols() {
+        let mut s = 0.0;
+        for i in 0..k {
+            s += h.v[i] * a[(row + i, j)];
+        }
+        s *= h.beta;
+        for i in 0..k {
+            a[(row + i, j)] -= s * h.v[i];
+        }
+    }
+}
+
+/// Applies `H` from the right to the trailing block of `a` starting at
+/// `(row, col)`: columns `col..col+v.len()`, rows `row..`.
+pub fn apply_right(a: &mut Matrix, h: &Reflector, row: usize, col: usize) {
+    if h.beta == 0.0 {
+        return;
+    }
+    let k = h.v.len();
+    for i in row..a.rows() {
+        let mut s = 0.0;
+        for j in 0..k {
+            s += h.v[j] * a[(i, col + j)];
+        }
+        s *= h.beta;
+        for j in 0..k {
+            a[(i, col + j)] -= s * h.v[j];
+        }
+    }
+}
+
+/// Result of the Golub–Kahan bidiagonalization `A = U B V^T` for `m >= n`.
+#[derive(Clone, Debug)]
+pub struct Bidiagonal {
+    /// Thin left factor, `m x n`, orthonormal columns.
+    pub u: Matrix,
+    /// Main diagonal of the upper-bidiagonal `B`, length `n`.
+    pub diag: Vec<f64>,
+    /// Superdiagonal of `B`, length `n - 1`.
+    pub superdiag: Vec<f64>,
+    /// Right factor, `n x n`, orthogonal.
+    pub v: Matrix,
+}
+
+/// Golub–Kahan bidiagonalization of a tall (or square) matrix (`m >= n`).
+///
+/// Alternates left reflectors (zeroing below the diagonal) and right
+/// reflectors (zeroing right of the superdiagonal), accumulating both factor
+/// matrices. This is the first stage of the MAGMA-like two-stage SVD.
+pub fn bidiagonalize(a: &Matrix) -> Bidiagonal {
+    let (m, n) = a.shape();
+    assert!(m >= n, "bidiagonalize requires m >= n (got {m}x{n}); transpose first");
+    let mut work = a.clone();
+    let mut left: Vec<(Reflector, usize)> = Vec::with_capacity(n);
+    let mut right: Vec<(Reflector, usize)> = Vec::with_capacity(n.saturating_sub(2));
+
+    for k in 0..n {
+        // Zero below the diagonal in column k.
+        let x: Vec<f64> = (k..m).map(|i| work[(i, k)]).collect();
+        let (h, _) = householder(&x);
+        apply_left(&mut work, &h, k, k);
+        left.push((h, k));
+        // Zero right of the superdiagonal in row k.
+        if k + 2 < n {
+            let x: Vec<f64> = (k + 1..n).map(|j| work[(k, j)]).collect();
+            let (h, _) = householder(&x);
+            apply_right(&mut work, &h, k, k + 1);
+            right.push((h, k + 1));
+        }
+    }
+
+    // Accumulate U (thin, m x n): apply the left reflectors to I in reverse.
+    let mut u = Matrix::from_fn(m, n, |i, j| if i == j { 1.0 } else { 0.0 });
+    for (h, k) in left.iter().rev() {
+        apply_left(&mut u, h, *k, *k);
+    }
+    // Accumulate V (n x n).
+    let mut v = Matrix::identity(n);
+    for (h, c) in right.iter().rev() {
+        apply_left(&mut v, h, *c, 0);
+    }
+
+    let diag: Vec<f64> = (0..n).map(|i| work[(i, i)]).collect();
+    let superdiag: Vec<f64> = (0..n.saturating_sub(1)).map(|i| work[(i, i + 1)]).collect();
+    Bidiagonal { u, diag, superdiag, v }
+}
+
+/// Generates a random-ish orthogonal matrix deterministically from a seed by
+/// composing Householder reflectors of pseudo-random vectors.
+///
+/// Not cryptographic; a cheap LCG drives the vectors. Used by the dataset
+/// generators (which need orthogonal factors with a prescribed spectrum).
+pub fn seeded_orthogonal(n: usize, seed: u64) -> Matrix {
+    let mut q = Matrix::identity(n);
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Map the top 53 bits to (-1, 1).
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    // n reflectors are enough to mix all directions.
+    for _ in 0..n.min(16).max(2) {
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let nrm = dot(&x, &x).sqrt();
+        if nrm == 0.0 {
+            continue;
+        }
+        let (h, _) = householder(&x);
+        apply_left(&mut q, &h, 0, 0);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gram, matmul};
+
+    fn is_orthogonal(q: &Matrix, tol: f64) -> bool {
+        let g = gram(q);
+        g.sub(&Matrix::identity(q.cols())).max_abs() < tol
+    }
+
+    #[test]
+    fn householder_annihilates_tail() {
+        let x = vec![3.0, 1.0, -2.0, 0.5];
+        let (h, alpha) = householder(&x);
+        // Apply H to x: should give (alpha, 0, 0, 0).
+        let s: f64 = h.beta * dot(&h.v, &x);
+        let hx: Vec<f64> = x.iter().zip(&h.v).map(|(xi, vi)| xi - s * vi).collect();
+        assert!((hx[0].abs() - alpha.abs()).abs() < 1e-12);
+        for &t in &hx[1..] {
+            assert!(t.abs() < 1e-12, "tail not annihilated: {hx:?}");
+        }
+        // Norm preserved.
+        assert!((dot(&hx, &hx) - dot(&x, &x)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn householder_identity_case() {
+        let x = vec![5.0, 0.0, 0.0];
+        let (h, alpha) = householder(&x);
+        assert_eq!(h.beta, 0.0);
+        assert_eq!(alpha, 5.0);
+    }
+
+    #[test]
+    fn householder_negative_leading() {
+        let x = vec![-5.0, 0.0];
+        let (h, alpha) = householder(&x);
+        assert_eq!(alpha, 5.0);
+        assert!(h.beta != 0.0);
+    }
+
+    #[test]
+    fn bidiagonalize_reconstructs() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let bd = bidiagonalize(&a);
+        // Rebuild B.
+        let n = 4;
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = bd.diag[i];
+            if i + 1 < n {
+                b[(i, i + 1)] = bd.superdiag[i];
+            }
+        }
+        let rebuilt = matmul(&matmul(&bd.u, &b), &bd.v.transpose());
+        assert!(rebuilt.sub(&a).max_abs() < 1e-10, "reconstruction failed");
+        assert!(is_orthogonal(&bd.u, 1e-12));
+        assert!(is_orthogonal(&bd.v, 1e-12));
+    }
+
+    #[test]
+    fn bidiagonalize_square() {
+        let a = Matrix::from_fn(5, 5, |i, j| (1.0 + i as f64) / (1.0 + j as f64 + i as f64));
+        let bd = bidiagonalize(&a);
+        let n = 5;
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = bd.diag[i];
+            if i + 1 < n {
+                b[(i, i + 1)] = bd.superdiag[i];
+            }
+        }
+        let rebuilt = matmul(&matmul(&bd.u, &b), &bd.v.transpose());
+        assert!(rebuilt.sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_orthogonal_is_orthogonal() {
+        for seed in [1u64, 42, 12345] {
+            let q = seeded_orthogonal(8, seed);
+            assert!(is_orthogonal(&q, 1e-12), "seed {seed} not orthogonal");
+        }
+    }
+
+    #[test]
+    fn seeded_orthogonal_differs_by_seed() {
+        let a = seeded_orthogonal(6, 1);
+        let b = seeded_orthogonal(6, 2);
+        assert!(a.sub(&b).max_abs() > 1e-3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Low-precision storage simulation (the paper's §V-E future-work sketch).
+//!
+//! ML/AI workloads run batched SVDs on `f32`/`bf16` data. Two effects
+//! matter for the W-cycle: (1) halving (or quartering) the element size
+//! doubles (quadruples) the matrices that fit the 48 KiB shared memory,
+//! allowing *larger `w_h` and deeper recursion*; (2) the reduced mantissa
+//! bounds the final accuracy. These helpers quantize `f64` data through the
+//! lower-precision representation so both effects can be measured with the
+//! existing `f64` kernels.
+
+use crate::matrix::Matrix;
+
+/// Storage precision of the simulated shared-memory working set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// IEEE double (8 bytes) — the paper's evaluation setting.
+    F64,
+    /// IEEE single (4 bytes).
+    F32,
+    /// bfloat16 (2 bytes): f32 with an 8-bit mantissa.
+    Bf16,
+}
+
+impl Precision {
+    /// Bytes per element in shared memory.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+            Precision::Bf16 => 2,
+        }
+    }
+
+    /// Unit roundoff of the representation.
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Precision::F64 => f64::EPSILON,
+            Precision::F32 => f32::EPSILON as f64,
+            Precision::Bf16 => 2.0f64.powi(-8),
+        }
+    }
+
+    /// Rounds one value through this precision.
+    pub fn round(self, x: f64) -> f64 {
+        match self {
+            Precision::F64 => x,
+            Precision::F32 => x as f32 as f64,
+            Precision::Bf16 => bf16_round(x),
+        }
+    }
+
+    /// Quantizes a whole matrix through this precision.
+    pub fn quantize(self, a: &Matrix) -> Matrix {
+        if self == Precision::F64 {
+            return a.clone();
+        }
+        let data = a.as_slice().iter().map(|&x| self.round(x)).collect();
+        Matrix::from_col_major(a.rows(), a.cols(), data)
+    }
+}
+
+/// Rounds an `f64` to the nearest bfloat16 (round-to-nearest-even on the
+/// f32 representation's top 16 bits).
+fn bf16_round(x: f64) -> f64 {
+    let bits = (x as f32).to_bits();
+    let lower = bits & 0xFFFF;
+    let mut upper = bits >> 16;
+    // Round to nearest, ties to even.
+    if lower > 0x8000 || (lower == 0x8000 && (upper & 1) == 1) {
+        upper += 1;
+    }
+    f32::from_bits(upper << 16) as f64
+}
+
+/// Shared-memory element budget multiplier relative to `f64` storage: how
+/// much more data fits per block at this precision.
+pub fn capacity_multiplier(p: Precision) -> usize {
+    8 / p.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_uniform;
+
+    #[test]
+    fn f64_is_identity() {
+        let a = random_uniform(5, 5, 1);
+        assert_eq!(Precision::F64.quantize(&a).as_slice(), a.as_slice());
+        assert_eq!(Precision::F64.round(1.234567890123), 1.234567890123);
+    }
+
+    #[test]
+    fn f32_rounding_error_is_bounded() {
+        let a = random_uniform(16, 16, 2);
+        let q = Precision::F32.quantize(&a);
+        let err = q.sub(&a).max_abs();
+        assert!(err > 0.0, "quantization should change something");
+        assert!(err <= Precision::F32.epsilon(), "err {err}");
+    }
+
+    #[test]
+    fn bf16_rounding_error_is_bounded_and_larger() {
+        let a = random_uniform(16, 16, 3);
+        let qf = Precision::F32.quantize(&a);
+        let qb = Precision::Bf16.quantize(&a);
+        let ef = qf.sub(&a).max_abs();
+        let eb = qb.sub(&a).max_abs();
+        assert!(eb > ef);
+        assert!(eb <= Precision::Bf16.epsilon());
+    }
+
+    #[test]
+    fn bf16_exact_values_survive() {
+        for x in [0.0, 1.0, -2.0, 0.5, 256.0] {
+            assert_eq!(Precision::Bf16.round(x), x);
+        }
+    }
+
+    #[test]
+    fn bf16_ties_round_to_even() {
+        // 1 + 2^-8 is exactly halfway between two bf16 values around 1.0.
+        let x = 1.0 + 2.0f64.powi(-9);
+        let r = bf16_round(x);
+        assert!(r == 1.0 || r == 1.0 + 2.0f64.powi(-8));
+    }
+
+    #[test]
+    fn capacity_multipliers() {
+        assert_eq!(capacity_multiplier(Precision::F64), 1);
+        assert_eq!(capacity_multiplier(Precision::F32), 2);
+        assert_eq!(capacity_multiplier(Precision::Bf16), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Householder QR factorization.
+//!
+//! Used as the *preconditioning* stage for one-sided Jacobi on tall
+//! matrices (the paper's refs. \[5\] "On using the Cholesky QR method in the
+//! full-blocked one-sided Jacobi algorithm" and \[42\] "New preconditioning
+//! for the one-sided block-Jacobi SVD algorithm"): a tall `m x n` input is
+//! reduced to its square `n x n` triangular factor, the Jacobi sweeps run on
+//! `R`, and the left factor is recovered as `Q U_R`.
+
+use crate::householder::{apply_left, householder, Reflector};
+use crate::matrix::Matrix;
+
+/// Thin QR factorization `A = Q R` for `m >= n`: `Q` is `m x n` with
+/// orthonormal columns, `R` is `n x n` upper triangular.
+pub fn qr_thin(a: &Matrix) -> (Matrix, Matrix) {
+    let (m, n) = a.shape();
+    assert!(m >= n, "qr_thin requires m >= n (got {m}x{n})");
+    let mut work = a.clone();
+    let mut reflectors: Vec<(Reflector, usize)> = Vec::with_capacity(n);
+    for k in 0..n {
+        let x: Vec<f64> = (k..m).map(|i| work[(i, k)]).collect();
+        let (h, _) = householder(&x);
+        apply_left(&mut work, &h, k, k);
+        reflectors.push((h, k));
+    }
+    // R: the upper triangle of the reduced matrix.
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+    // Q (thin): apply the reflectors to the leading columns of I in reverse.
+    let mut q = Matrix::from_fn(m, n, |i, j| if i == j { 1.0 } else { 0.0 });
+    for (h, k) in reflectors.iter().rev() {
+        apply_left(&mut q, h, *k, *k);
+    }
+    (q, r)
+}
+
+/// Frobenius-relative QR residual `||A - QR||_F / ||A||_F`.
+pub fn qr_residual(a: &Matrix, q: &Matrix, r: &Matrix) -> f64 {
+    let rebuilt = crate::gemm::matmul(q, r);
+    rebuilt.sub(a).fro_norm() / a.fro_norm().max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_uniform;
+    use crate::verify::orthonormality_error;
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = random_uniform(20, 7, 3);
+        let (q, r) = qr_thin(&a);
+        assert_eq!(q.shape(), (20, 7));
+        assert_eq!(r.shape(), (7, 7));
+        assert!(qr_residual(&a, &q, &r) < 1e-12);
+        assert!(orthonormality_error(&q) < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_uniform(12, 6, 5);
+        let (_, r) = qr_thin(&a);
+        for j in 0..6 {
+            for i in (j + 1)..6 {
+                assert_eq!(r[(i, j)], 0.0, "below-diagonal entry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_square() {
+        let a = random_uniform(8, 8, 7);
+        let (q, r) = qr_thin(&a);
+        assert!(qr_residual(&a, &q, &r) < 1e-12);
+    }
+
+    #[test]
+    fn qr_preserves_singular_values() {
+        // R has the same singular values as A (Q is orthogonal).
+        let a = random_uniform(30, 6, 11);
+        let (_, r) = qr_thin(&a);
+        let sa = crate::svd::singular_values(&a).unwrap();
+        let sr = crate::svd::singular_values(&r).unwrap();
+        for (x, y) in sa.iter().zip(&sr) {
+            assert!((x - y).abs() < 1e-11 * (1.0 + y));
+        }
+    }
+
+    #[test]
+    fn qr_of_orthonormal_input_gives_identity_r_signs() {
+        let q0 = crate::householder::seeded_orthogonal(9, 13);
+        let (q, r) = qr_thin(&q0);
+        // R must be diagonal ±1.
+        for j in 0..9 {
+            for i in 0..j {
+                assert!(r[(i, j)].abs() < 1e-12);
+            }
+            assert!((r[(j, j)].abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(orthonormality_error(&q) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn qr_rejects_wide() {
+        let a = random_uniform(3, 5, 1);
+        let _ = qr_thin(&a);
+    }
+}

@@ -1,0 +1,227 @@
+//! Full SVD driver and result type.
+//!
+//! `svd_reference` is the two-stage (bidiagonalize + implicit-shift QR) SVD;
+//! it is the numerical core of the MAGMA-like baseline and the oracle used to
+//! validate every Jacobi kernel in the workspace.
+
+use crate::bidiag_svd::{bidiag_qr, sort_svd};
+use crate::gemm::{gram, matmul};
+use crate::householder::bidiagonalize;
+use crate::matrix::Matrix;
+
+/// The factorization `A = U Σ V^T` in thin form.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// `m x r` matrix with orthonormal columns (`r = min(m, n)`).
+    pub u: Matrix,
+    /// Singular values, descending, length `r`.
+    pub sigma: Vec<f64>,
+    /// `n x r` matrix with orthonormal columns.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Rebuilds `U Σ V^T`.
+    pub fn reconstruct(&self) -> Matrix {
+        let r = self.sigma.len();
+        let mut us = self.u.clone();
+        for j in 0..r {
+            let s = self.sigma[j];
+            for x in us.col_mut(j) {
+                *x *= s;
+            }
+        }
+        matmul(&us, &self.v.transpose())
+    }
+
+    /// `||A - U Σ V^T||_F / ||A||_F` (0 for a zero matrix that rebuilt to 0).
+    pub fn relative_residual(&self, a: &Matrix) -> f64 {
+        let denom = a.fro_norm();
+        let diff = self.reconstruct().sub(a).fro_norm();
+        if denom == 0.0 {
+            diff
+        } else {
+            diff / denom
+        }
+    }
+
+    /// `max(||U^T U - I||_max, ||V^T V - I||_max)`.
+    pub fn orthogonality_error(&self) -> f64 {
+        let eu = gram(&self.u).sub(&Matrix::identity(self.u.cols())).max_abs();
+        let ev = gram(&self.v).sub(&Matrix::identity(self.v.cols())).max_abs();
+        eu.max(ev)
+    }
+
+    /// 2-norm condition number `σ_max / σ_min` (∞ if rank-deficient).
+    pub fn condition_number(&self) -> f64 {
+        match (self.sigma.first(), self.sigma.last()) {
+            (Some(&hi), Some(&lo)) if lo > 0.0 => hi / lo,
+            (Some(_), Some(_)) => f64::INFINITY,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Two-stage reference SVD (Golub–Reinsch): bidiagonalize, then QR-iterate.
+///
+/// Handles `m < n` by decomposing the transpose and swapping the factors.
+pub fn svd_reference(a: &Matrix) -> Result<Svd, String> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Ok(Svd { u: Matrix::zeros(m, 0), sigma: vec![], v: Matrix::zeros(n, 0) });
+    }
+    if m < n {
+        let t = svd_reference(&a.transpose())?;
+        return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+    }
+    let bd = bidiagonalize(a);
+    let mut s = bd.diag.clone();
+    let mut e = vec![0.0; n];
+    e[..n - 1].copy_from_slice(&bd.superdiag);
+    let mut u = bd.u;
+    let mut v = bd.v;
+    bidiag_qr(&mut s, &mut e, Some(&mut u), Some(&mut v))?;
+    sort_svd(&mut s, Some(&mut u), Some(&mut v));
+    Ok(Svd { u, sigma: s, v })
+}
+
+/// Singular values only (no factor accumulation — faster for spectra checks).
+pub fn singular_values(a: &Matrix) -> Result<Vec<f64>, String> {
+    let (m, n) = a.shape();
+    if m < n {
+        return singular_values(&a.transpose());
+    }
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    let bd = bidiagonalize(a);
+    let mut s = bd.diag.clone();
+    let mut e = vec![0.0; n];
+    e[..n - 1].copy_from_slice(&bd.superdiag);
+    bidiag_qr(&mut s, &mut e, None, None)?;
+    sort_svd(&mut s, None, None);
+    Ok(s)
+}
+
+/// Symmetric eigendecomposition via the SVD machinery is *not* generally
+/// valid (signs are lost); this helper instead measures how far `B` deviates
+/// from `J Λ J^T` for a candidate eigendecomposition — used by EVD tests.
+pub fn evd_residual(b: &Matrix, j: &Matrix, lambda: &[f64]) -> f64 {
+    let mut jl = j.clone();
+    for (k, &l) in lambda.iter().enumerate() {
+        for x in jl.col_mut(k) {
+            *x *= l;
+        }
+    }
+    let rebuilt = matmul(&jl, &j.transpose());
+    let denom = b.fro_norm().max(1e-300);
+    rebuilt.sub(b).fro_norm() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::seeded_orthogonal;
+
+    fn conditioned(m: usize, n: usize, sigma: &[f64], seed: u64) -> Matrix {
+        let r = m.min(n);
+        assert_eq!(sigma.len(), r);
+        let u = seeded_orthogonal(m, seed);
+        let v = seeded_orthogonal(n, seed ^ 0xdead_beef);
+        let mut s = Matrix::zeros(m, n);
+        for (i, &x) in sigma.iter().enumerate() {
+            s[(i, i)] = x;
+        }
+        matmul(&matmul(&u, &s), &v.transpose())
+    }
+
+    #[test]
+    fn recovers_known_spectrum_square() {
+        let sigma = vec![10.0, 5.0, 2.0, 0.5];
+        let a = conditioned(4, 4, &sigma, 7);
+        let svd = svd_reference(&a).unwrap();
+        for (got, want) in svd.sigma.iter().zip(&sigma) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+        assert!(svd.relative_residual(&a) < 1e-12);
+        assert!(svd.orthogonality_error() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_known_spectrum_tall() {
+        let sigma = vec![4.0, 3.0, 1.0];
+        let a = conditioned(8, 3, &sigma, 13);
+        let svd = svd_reference(&a).unwrap();
+        for (got, want) in svd.sigma.iter().zip(&sigma) {
+            assert!((got - want).abs() < 1e-10);
+        }
+        assert!(svd.relative_residual(&a) < 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix_via_transpose() {
+        let sigma = vec![6.0, 2.0];
+        let a = conditioned(2, 9, &sigma, 21);
+        let svd = svd_reference(&a).unwrap();
+        assert_eq!(svd.u.shape(), (2, 2));
+        assert_eq!(svd.v.shape(), (9, 2));
+        for (got, want) in svd.sigma.iter().zip(&sigma) {
+            assert!((got - want).abs() < 1e-10);
+        }
+        assert!(svd.relative_residual(&a) < 1e-12);
+        assert!(svd.orthogonality_error() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient() {
+        let sigma = vec![3.0, 1.0, 0.0];
+        let a = conditioned(5, 3, &sigma, 3);
+        let svd = svd_reference(&a).unwrap();
+        assert!(svd.sigma[2].abs() < 1e-12);
+        assert!(svd.relative_residual(&a) < 1e-12);
+        // The numerically smallest value may be a tiny positive round-off,
+        // so the condition number is "effectively infinite".
+        assert!(svd.condition_number() > 1e12);
+    }
+
+    #[test]
+    fn singular_values_match_full_svd() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((i * 13 + j * 29) % 23) as f64 / 23.0 - 0.4);
+        let s1 = singular_values(&a).unwrap();
+        let s2 = svd_reference(&a).unwrap().sigma;
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((a - b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let svd = svd_reference(&a).unwrap();
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(1, 1, &[-3.0]);
+        let svd = svd_reference(&a).unwrap();
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-15);
+        assert!(svd.relative_residual(&a) < 1e-15);
+    }
+
+    #[test]
+    fn ill_conditioned_keeps_relative_accuracy_of_large_values() {
+        let sigma = vec![1e8, 1.0, 1e-8];
+        let a = conditioned(6, 3, &sigma, 99);
+        let svd = svd_reference(&a).unwrap();
+        assert!((svd.sigma[0] - 1e8).abs() / 1e8 < 1e-12);
+        assert!((svd.sigma[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn condition_number_matches_spectrum() {
+        let a = conditioned(4, 4, &[8.0, 4.0, 2.0, 1.0], 5);
+        let svd = svd_reference(&a).unwrap();
+        assert!((svd.condition_number() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use proptest::prelude::*;
+use wsvd_linalg::generate::{random_uniform, with_spectrum};
+use wsvd_linalg::householder::{bidiagonalize, seeded_orthogonal};
+use wsvd_linalg::verify::orthonormality_error;
+use wsvd_linalg::{gemm, gram, matmul, singular_values, svd_reference, Matrix, Op};
+
+fn arb_mat(max_m: usize, max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_m, 1..=max_n, any::<u64>()).prop_map(|(m, n, s)| random_uniform(m, n, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn svd_reference_reconstructs_anything(a in arb_mat(24, 24)) {
+        let svd = svd_reference(&a).unwrap();
+        prop_assert!(svd.relative_residual(&a) < 1e-10);
+        prop_assert!(svd.orthogonality_error() < 1e-10);
+        prop_assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn singular_values_invariant_under_transpose(a in arb_mat(16, 16)) {
+        let s1 = singular_values(&a).unwrap();
+        let s2 = singular_values(&a.transpose()).unwrap();
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-10 * (1.0 + y));
+        }
+    }
+
+    #[test]
+    fn singular_values_invariant_under_orthogonal_mixing(
+        a in arb_mat(12, 12), seed in any::<u64>()
+    ) {
+        let q = seeded_orthogonal(a.rows(), seed);
+        let qa = matmul(&q, &a);
+        let s1 = singular_values(&a).unwrap();
+        let s2 = singular_values(&qa).unwrap();
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + y));
+        }
+    }
+
+    #[test]
+    fn gemm_is_associative_with_identity(a in arb_mat(10, 10)) {
+        let i = Matrix::identity(a.cols());
+        let ai = matmul(&a, &i);
+        prop_assert!(ai.sub(&a).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn gram_is_psd_diagonal_dominant_trace(a in arb_mat(16, 12)) {
+        let g = gram(&a);
+        // Symmetric.
+        prop_assert!(g.sub(&g.transpose()).max_abs() < 1e-12);
+        // trace(A^T A) = ||A||_F^2.
+        let tr: f64 = g.diag().iter().sum();
+        prop_assert!((tr - a.fro_norm().powi(2)).abs() < 1e-9 * (1.0 + tr.abs()));
+        // Non-negative diagonal.
+        prop_assert!(g.diag().iter().all(|&d| d >= -1e-12));
+    }
+
+    #[test]
+    fn gemm_transpose_flags_agree(
+        m in 1usize..9, k in 1usize..9, n in 1usize..9, seed in any::<u64>()
+    ) {
+        // (A B)^T == B^T A^T via the Op flags.
+        let a = random_uniform(m, k, seed);
+        let b = random_uniform(k, n, seed ^ 0xabcd);
+        let ab = matmul(&a, &b);
+        let mut btat = Matrix::zeros(n, m);
+        gemm(1.0, &b, Op::Trans, &a, Op::Trans, 0.0, &mut btat);
+        prop_assert!(ab.transpose().sub(&btat).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn bidiagonalization_preserves_frobenius(a in arb_mat(20, 12)) {
+        prop_assume!(a.rows() >= a.cols());
+        let bd = bidiagonalize(&a);
+        let b_fro: f64 = bd
+            .diag
+            .iter()
+            .chain(bd.superdiag.iter())
+            .map(|x| x * x)
+            .sum::<f64>()
+            .sqrt();
+        prop_assert!((b_fro - a.fro_norm()).abs() < 1e-9 * (1.0 + a.fro_norm()));
+        prop_assert!(orthonormality_error(&bd.u) < 1e-10);
+        prop_assert!(orthonormality_error(&bd.v) < 1e-10);
+    }
+
+    #[test]
+    fn prescribed_spectrum_is_realized(
+        r in 1usize..8, pad in 0usize..6, seed in any::<u64>()
+    ) {
+        let sigma: Vec<f64> = (0..r).map(|k| (r - k) as f64 * 1.5).collect();
+        let a = with_spectrum(r + pad, r, &sigma, seed);
+        let got = singular_values(&a).unwrap();
+        for (g, w) in got.iter().zip(&sigma) {
+            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # wcycle-svd
+//!
+//! Facade crate for the W-cycle SVD reproduction (Xiao et al., *W-Cycle
+//! SVD: A Multilevel Algorithm for Batched SVD on GPUs*, SC 2022).
+//!
+//! Re-exports the full workspace surface:
+//!
+//! * [`core`] / [`wcycle_svd`] — the multilevel batched SVD (Algorithm 2);
+//! * [`gpu`] — the GPU execution-model simulator substrate;
+//! * [`linalg`] — dense matrices, GEMM, reference two-stage SVD;
+//! * [`jacobi`] — the batched SM SVD/EVD kernels;
+//! * [`batched`] — tailored batched GEMM and the auto-tuning engine;
+//! * [`baselines`] — cuSOLVER-like, MAGMA-like and ref.-\[19\] comparators;
+//! * [`datasets`] — deterministic synthetic workloads;
+//! * [`apps`] — data assimilation and image compression.
+//!
+//! ```
+//! use wcycle_svd::{wcycle_svd, WCycleConfig};
+//! use wcycle_svd::gpu::{Gpu, V100};
+//! use wcycle_svd::linalg::generate::random_uniform;
+//!
+//! let gpu = Gpu::new(V100);
+//! let batch = vec![random_uniform(48, 48, 1), random_uniform(96, 64, 2)];
+//! let out = wcycle_svd(&gpu, &batch, &WCycleConfig::default()).unwrap();
+//! for r in &out.results {
+//!     assert!(r.sigma.windows(2).all(|w| w[0] >= w[1]));
+//! }
+//! println!("simulated time: {:.3} ms", gpu.elapsed_seconds() * 1e3);
+//! ```
+
+pub use wsvd_apps as apps;
+pub use wsvd_baselines as baselines;
+pub use wsvd_batched as batched;
+pub use wsvd_core as core;
+pub use wsvd_datasets as datasets;
+pub use wsvd_gpu_sim as gpu;
+pub use wsvd_jacobi as jacobi;
+pub use wsvd_linalg as linalg;
+
+pub use wsvd_core::{wcycle_svd, AlphaSelect, Tuning, WCycleConfig, WCycleOutput, WSvd};
