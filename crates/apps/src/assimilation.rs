@@ -51,7 +51,10 @@ impl AssimilationProblem {
             anomalies.push(s);
             innovations.push(d);
         }
-        Self { anomalies, innovations }
+        Self {
+            anomalies,
+            innovations,
+        }
     }
 }
 
@@ -130,7 +133,10 @@ pub fn analysis_step(
         })
         .collect();
 
-    Ok(AnalysisResult { weights, svd_seconds })
+    Ok(AnalysisResult {
+        weights,
+        svd_seconds,
+    })
 }
 
 /// Distributed analysis step over a multi-GPU cluster (the artifact's
@@ -151,8 +157,14 @@ pub fn analysis_step_distributed(
             continue;
         }
         let local = AssimilationProblem {
-            anomalies: shard.iter().map(|&i| problem.anomalies[i].clone()).collect(),
-            innovations: shard.iter().map(|&i| problem.innovations[i].clone()).collect(),
+            anomalies: shard
+                .iter()
+                .map(|&i| problem.anomalies[i].clone())
+                .collect(),
+            innovations: shard
+                .iter()
+                .map(|&i| problem.innovations[i].clone())
+                .collect(),
         };
         let local_result = analysis_step(cluster.gpu(rank), &local, engine)?;
         for (&i, w) in shard.iter().zip(local_result.weights) {
@@ -162,7 +174,10 @@ pub fn analysis_step_distributed(
     }
     cluster.sync(gathered_bytes); // gather of the analysis weights
     Ok(AnalysisResult {
-        weights: weights.into_iter().map(|w| w.expect("all points assigned")).collect(),
+        weights: weights
+            .into_iter()
+            .map(|w| w.expect("all points assigned"))
+            .collect(),
         svd_seconds: cluster.elapsed_seconds(),
     })
 }
@@ -232,10 +247,15 @@ mod tests {
         let p = AssimilationProblem::generate(16, 16, 48, 19);
         let time = |gpus: usize, engine| {
             let cluster = GpuCluster::new(VEGA20, gpus);
-            analysis_step_distributed(&cluster, &p, engine).unwrap().svd_seconds
+            analysis_step_distributed(&cluster, &p, engine)
+                .unwrap()
+                .svd_seconds
         };
         let (m1, m4) = (time(1, SvdEngine::Magma), time(4, SvdEngine::Magma));
-        assert!(m4 < 0.5 * m1, "4 GPUs ({m4}) should scale MAGMA well vs 1 ({m1})");
+        assert!(
+            m4 < 0.5 * m1,
+            "4 GPUs ({m4}) should scale MAGMA well vs 1 ({m1})"
+        );
         let (w1, w4) = (time(1, SvdEngine::WCycle), time(4, SvdEngine::WCycle));
         assert!(w4 <= w1 + 1e-4, "sharding must never hurt: {w4} vs {w1}");
     }

@@ -52,12 +52,7 @@ pub struct Compressed {
 }
 
 /// Compresses by keeping rank `k` per tile (batched SVD over all tiles).
-pub fn compress(
-    gpu: &Gpu,
-    img: &Image,
-    tile: usize,
-    k: usize,
-) -> Result<Compressed, KernelError> {
+pub fn compress(gpu: &Gpu, img: &Image, tile: usize, k: usize) -> Result<Compressed, KernelError> {
     let tiles = tile_image(img, tile);
     let mats: Vec<Matrix> = tiles.iter().map(|(_, _, t)| t.clone()).collect();
     let out = wcycle_svd(gpu, &mats, &WCycleConfig::default())?;
@@ -82,7 +77,11 @@ pub fn compress(
     }
     let relative_error = rebuilt.sub(img).fro_norm() / img.fro_norm().max(1e-300);
     let storage_ratio = stored as f64 / img.len() as f64;
-    Ok(Compressed { image: rebuilt, relative_error, storage_ratio })
+    Ok(Compressed {
+        image: rebuilt,
+        relative_error,
+        storage_ratio,
+    })
 }
 
 #[cfg(test)]

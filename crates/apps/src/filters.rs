@@ -87,8 +87,7 @@ pub fn synthetic_filter_bank(count: usize, k: usize, seed: u64) -> Vec<Matrix> {
                 let along = c * fx + s * fy;
                 let across = -s * fx + c * fy;
                 // Oriented Gabor-ish edge response plus 5% noise.
-                (along * 1.2).sin() * (-across * across / (k as f64)).exp()
-                    + 0.05 * noise[(y, x)]
+                (along * 1.2).sin() * (-across * across / (k as f64)).exp() + 0.05 * noise[(y, x)]
             })
         })
         .collect()
@@ -117,8 +116,7 @@ mod tests {
         let seps = separate_filter_bank(&gpu, &bank, 1).unwrap();
         // Axis-aligned filters are nearly rank 1; oblique ones less so, but
         // the bank average must be strongly low-rank.
-        let mean: f64 =
-            seps.iter().map(|s| s.energy_captured).sum::<f64>() / seps.len() as f64;
+        let mean: f64 = seps.iter().map(|s| s.energy_captured).sum::<f64>() / seps.len() as f64;
         assert!(mean > 0.6, "mean energy captured {mean}");
     }
 

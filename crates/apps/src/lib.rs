@@ -14,6 +14,8 @@ pub mod assimilation;
 pub mod compression;
 pub mod filters;
 
-pub use assimilation::{analysis_step, analysis_step_distributed, AnalysisResult, AssimilationProblem, SvdEngine};
+pub use assimilation::{
+    analysis_step, analysis_step_distributed, AnalysisResult, AssimilationProblem, SvdEngine,
+};
 pub use compression::{compress, synthetic_image, tile_image, Compressed};
 pub use filters::{separate_filter_bank, synthetic_filter_bank, SeparableFilter};

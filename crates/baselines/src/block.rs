@@ -98,8 +98,10 @@ pub fn block_jacobi_svd(
 ) -> Result<Vec<BlockSvd>, KernelError> {
     let smem = gpu.device().smem_per_block_bytes;
     let mut tasks: Vec<Matrix> = mats.to_vec();
-    let mut vs: Vec<Option<Matrix>> =
-        tasks.iter().map(|t| cfg.want_v.then(|| Matrix::identity(t.cols()))).collect();
+    let mut vs: Vec<Option<Matrix>> = tasks
+        .iter()
+        .map(|t| cfg.want_v.then(|| Matrix::identity(t.cols())))
+        .collect();
     let mut sweeps = vec![0usize; tasks.len()];
     let mut rotations = vec![0u64; tasks.len()];
     let mut active: Vec<bool> = tasks.iter().map(|t| t.cols() >= 2).collect();
@@ -108,7 +110,9 @@ pub fn block_jacobi_svd(
         let m_star = tasks.iter().map(|t| t.rows()).max().unwrap_or(8);
         GemmStrategy::Tailored(TailorPlan::new(cfg.w, m_star, cfg.kernel_threads))
     } else {
-        GemmStrategy::OneBlockPerGemm { threads: cfg.kernel_threads }
+        GemmStrategy::OneBlockPerGemm {
+            threads: cfg.kernel_threads,
+        }
     };
 
     let parts: Vec<Vec<(usize, usize)>> = tasks
@@ -123,12 +127,20 @@ pub fn block_jacobi_svd(
         let schedules: Vec<_> = parts
             .iter()
             .zip(&active)
-            .map(|(p, &a)| if a { wsvd_jacobi::ordering::round_robin(p.len()) } else { Vec::new() })
+            .map(|(p, &a)| {
+                if a {
+                    wsvd_jacobi::ordering::round_robin(p.len())
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         let max_steps = schedules.iter().map(|s| s.len()).max().unwrap_or(0);
 
+        // (task index, (row block, col block), (rows, cols)) per pair block.
+        type PairRef = (usize, (usize, usize), (usize, usize));
         for step in 0..max_steps {
-            let mut refs: Vec<(usize, (usize, usize), (usize, usize))> = Vec::new();
+            let mut refs: Vec<PairRef> = Vec::new();
             let mut blocks: Vec<Matrix> = Vec::new();
             for (t, sched) in schedules.iter().enumerate() {
                 if !active[t] || step >= sched.len() {
@@ -151,8 +163,8 @@ pub fn block_jacobi_svd(
                     // Size-sensitive split: SM when the pair block fits,
                     // the slow GM kernel otherwise. No recursion.
                     let mut js: Vec<Option<Matrix>> = vec![None; blocks.len()];
-                    let (sm_idx, gm_idx): (Vec<usize>, Vec<usize>) = (0..blocks.len())
-                        .partition(|&i| {
+                    let (sm_idx, gm_idx): (Vec<usize>, Vec<usize>) =
+                        (0..blocks.len()).partition(|&i| {
                             let (m, nn) = blocks[i].shape();
                             svd_fits_in_sm(m, nn, smem)
                         });
@@ -187,10 +199,12 @@ pub fn block_jacobi_svd(
                 }
                 RotationSource::GramEvd => {
                     let (grams, _) = batched_gram(gpu, &blocks, strategy)?;
-                    let evd_cfg =
-                        EvdConfig { tol: 1e-15, max_sweeps: 30, variant: cfg.evd_variant };
-                    let (evds, _) =
-                        batched_evd_sm(gpu, &grams, &evd_cfg, cfg.kernel_threads)?;
+                    let evd_cfg = EvdConfig {
+                        tol: 1e-15,
+                        max_sweeps: 30,
+                        variant: cfg.evd_variant,
+                    };
+                    let (evds, _) = batched_evd_sm(gpu, &grams, &evd_cfg, cfg.kernel_threads)?;
                     let js: Vec<Matrix> = evds.into_iter().map(|e| e.j).collect();
                     batched_update(gpu, &mut blocks, &js, strategy)?;
                     js
@@ -232,7 +246,13 @@ pub fn block_jacobi_svd(
         .zip(sweeps.iter().zip(&rotations))
         .map(|((conv, v), (&sweeps, &rotations))| {
             let (u, sigma, v) = extract(conv, v);
-            BlockSvd { u, sigma, v, sweeps, rotations }
+            BlockSvd {
+                u,
+                sigma,
+                v,
+                sweeps,
+                rotations,
+            }
         })
         .collect())
 }
@@ -245,7 +265,11 @@ pub fn rotations_per_sweep(n: usize, w: usize) -> u64 {
         return 0;
     }
     // Round-robin: blocks-1 steps (even) of ⌊blocks/2⌋ pairs.
-    let steps = if blocks.is_multiple_of(2) { blocks - 1 } else { blocks };
+    let steps = if blocks.is_multiple_of(2) {
+        blocks - 1
+    } else {
+        blocks
+    };
     (steps * (blocks / 2)) as u64
 }
 
@@ -358,7 +382,11 @@ mod tests {
     fn direct_route_converges() {
         let gpu = Gpu::new(V100);
         let mats = random_batch(2, 48, 48, 5);
-        let cfg = BlockJacobiConfig { rotation: RotationSource::DirectSvd, w: 8, ..Default::default() };
+        let cfg = BlockJacobiConfig {
+            rotation: RotationSource::DirectSvd,
+            w: 8,
+            ..Default::default()
+        };
         let outs = block_jacobi_svd(&gpu, &mats, &cfg).unwrap();
         for (a, o) in mats.iter().zip(&outs) {
             check(a, o);
@@ -394,7 +422,12 @@ mod tests {
     fn measured_rotations_match_analytic_per_sweep() {
         let gpu = Gpu::new(V100);
         let a = random_uniform(64, 64, 9);
-        let cfg = BlockJacobiConfig { w: 16, max_sweeps: 1, tol: 0.0, ..Default::default() };
+        let cfg = BlockJacobiConfig {
+            w: 16,
+            max_sweeps: 1,
+            tol: 0.0,
+            ..Default::default()
+        };
         let outs = block_jacobi_svd(&gpu, std::slice::from_ref(&a), &cfg).unwrap();
         assert_eq!(outs[0].rotations, rotations_per_sweep(64, 16));
     }
@@ -404,7 +437,10 @@ mod tests {
         let gpu = Gpu::new(V100);
         let mats = random_batch(1, 80, 80, 11);
         let plain = block_jacobi_svd(&gpu, &mats, &BlockJacobiConfig::default()).unwrap();
-        let cfg = BlockJacobiConfig { tailor: true, ..Default::default() };
+        let cfg = BlockJacobiConfig {
+            tailor: true,
+            ..Default::default()
+        };
         let tailored = block_jacobi_svd(&gpu, &mats, &cfg).unwrap();
         for (p, t) in plain[0].sigma.iter().zip(&tailored[0].sigma) {
             assert!((p - t).abs() < 1e-9);
@@ -415,7 +451,10 @@ mod tests {
     fn want_v_false_is_cheaper_and_valueless() {
         let gpu = Gpu::new(V100);
         let mats = random_batch(1, 64, 64, 13);
-        let cfg = BlockJacobiConfig { want_v: false, ..Default::default() };
+        let cfg = BlockJacobiConfig {
+            want_v: false,
+            ..Default::default()
+        };
         let outs = block_jacobi_svd(&gpu, &mats, &cfg).unwrap();
         assert!(outs[0].v.is_none());
         let want = singular_values(&mats[0]).unwrap();

@@ -79,7 +79,11 @@ pub fn gesvdj(gpu: &Gpu, a: &Matrix) -> Result<CusolverSvd, KernelError> {
     // Static blocked Jacobi, batch of one: low occupancy per step, and the
     // pre-W-cycle kernel generation (serialized two-sided EVD, no α-warp
     // teams, no norm cache).
-    let work = if a.rows() < a.cols() { a.transpose() } else { a.clone() };
+    let work = if a.rows() < a.cols() {
+        a.transpose()
+    } else {
+        a.clone()
+    };
     let cfg = BlockJacobiConfig {
         w: GESVDJ_BLOCK_W,
         rotation: RotationSource::GramEvd,
@@ -89,13 +93,21 @@ pub fn gesvdj(gpu: &Gpu, a: &Matrix) -> Result<CusolverSvd, KernelError> {
         svd_cache_norms: false,
         ..Default::default()
     };
-    let mut out = block_jacobi_svd(gpu, std::slice::from_ref(&work), &cfg)?.pop().unwrap();
+    let mut out = block_jacobi_svd(gpu, std::slice::from_ref(&work), &cfg)?
+        .pop()
+        .unwrap();
     if a.rows() < a.cols() {
         // Swap factors for the wide input.
         let v_t = out.v.take().expect("want_v on");
         let r = out.sigma.len();
         let u_new = Matrix::from_fn(v_t.rows(), r, |i, j| v_t[(i, j)]);
-        out = BlockSvd { v: Some(out.u), u: u_new, sigma: out.sigma, sweeps: out.sweeps, rotations: out.rotations };
+        out = BlockSvd {
+            v: Some(out.u),
+            u: u_new,
+            sigma: out.sigma,
+            sweeps: out.sweeps,
+            rotations: out.rotations,
+        };
     }
     Ok(out)
 }

@@ -31,15 +31,31 @@ fn dp_config(rotation: RotationSource) -> BlockJacobiConfig {
 /// `Batched_DP_Direct`: rotations from direct SVDs of the pair blocks
 /// (register/SM resident when they fit, global memory otherwise).
 pub fn batched_dp_direct(gpu: &Gpu, mats: &[Matrix]) -> Result<Vec<BlockSvd>, KernelError> {
-    let prepared: Vec<Matrix> =
-        mats.iter().map(|a| if a.rows() < a.cols() { a.transpose() } else { a.clone() }).collect();
+    let prepared: Vec<Matrix> = mats
+        .iter()
+        .map(|a| {
+            if a.rows() < a.cols() {
+                a.transpose()
+            } else {
+                a.clone()
+            }
+        })
+        .collect();
     block_jacobi_svd(gpu, &prepared, &dp_config(RotationSource::DirectSvd))
 }
 
 /// `Batched_DP_Gram`: rotations from EVDs of the pair blocks' Gram matrices.
 pub fn batched_dp_gram(gpu: &Gpu, mats: &[Matrix]) -> Result<Vec<BlockSvd>, KernelError> {
-    let prepared: Vec<Matrix> =
-        mats.iter().map(|a| if a.rows() < a.cols() { a.transpose() } else { a.clone() }).collect();
+    let prepared: Vec<Matrix> = mats
+        .iter()
+        .map(|a| {
+            if a.rows() < a.cols() {
+                a.transpose()
+            } else {
+                a.clone()
+            }
+        })
+        .collect();
     block_jacobi_svd(gpu, &prepared, &dp_config(RotationSource::GramEvd))
 }
 

@@ -19,7 +19,11 @@ pub mod cusolver;
 pub mod dp;
 pub mod magma;
 
-pub use block::{block_jacobi_svd, rotations_per_sweep, BlockJacobiConfig, BlockSvd, RotationSource};
-pub use cusolver::{cusolver_batched_svd, gesvdj, gesvdj_batched, gesvdj_serial_batch, BATCHED_API_MAX_DIM};
+pub use block::{
+    block_jacobi_svd, rotations_per_sweep, BlockJacobiConfig, BlockSvd, RotationSource,
+};
+pub use cusolver::{
+    cusolver_batched_svd, gesvdj, gesvdj_batched, gesvdj_serial_batch, BATCHED_API_MAX_DIM,
+};
 pub use dp::{batched_dp_direct, batched_dp_gram, DP_BLOCK_W};
 pub use magma::{magma_batched_svd, magma_gesvd};

@@ -83,7 +83,12 @@ pub fn magma_gesvd(gpu: &Gpu, a: &Matrix) -> Result<BlockSvd, KernelError> {
     gpu.add_host_seconds(2e-9 * (tall_n * tall_n) as f64);
     let qr_groups = tall_n.div_ceil(16).max(1);
     for _ in 0..qr_groups {
-        let kc = KernelConfig::new((tall_m.div_ceil(256)).max(1), 256, 8 * 1024, "magma_qr_apply");
+        let kc = KernelConfig::new(
+            (tall_m.div_ceil(256)).max(1),
+            256,
+            8 * 1024,
+            "magma_qr_apply",
+        );
         gpu.launch_collect(kc, |_, ctx| {
             ctx.count_gm_load(tall_m * 32);
             ctx.par_step(tall_m * 32, 6 * (tall_n as u64).min(64));
@@ -94,7 +99,13 @@ pub fn magma_gesvd(gpu: &Gpu, a: &Matrix) -> Result<BlockSvd, KernelError> {
 
     // --- Real numerics ---------------------------------------------------
     let Svd { u, sigma, v } = svd_reference(a).map_err(KernelError::Other)?;
-    Ok(BlockSvd { u, sigma, v: Some(v), sweeps: 0, rotations: 0 })
+    Ok(BlockSvd {
+        u,
+        sigma,
+        v: Some(v),
+        sweeps: 0,
+        rotations: 0,
+    })
 }
 
 /// MAGMA has no batched `gesvd`; batches loop serially over the single API

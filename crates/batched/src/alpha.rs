@@ -129,8 +129,17 @@ impl DecisionTree {
     pub fn predict_proba(&self, m_star: usize, batch: usize) -> [f64; 4] {
         match self {
             DecisionTree::Leaf { probs } => *probs,
-            DecisionTree::Node { feature, threshold, left, right } => {
-                let x = if *feature == 0 { m_star as f64 } else { batch as f64 };
+            DecisionTree::Node {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let x = if *feature == 0 {
+                    m_star as f64
+                } else {
+                    batch as f64
+                };
                 if x <= *threshold {
                     left.predict_proba(m_star, batch)
                 } else {
@@ -202,11 +211,16 @@ fn weighted_gini(l: &[&AlphaSample], r: &[&AlphaSample]) -> f64 {
 /// candidates on the simulator (one single-sweep launch each) — the
 /// "practical tests" used to label the paper's training set.
 pub fn measure_best_tpp(gpu: &Gpu, m_star: usize, batch: usize, seed: u64) -> usize {
-    let n = m_star.min(16).max(2);
+    let n = m_star.clamp(2, 16);
     let mats = random_batch(batch, m_star, n, seed);
     let mut best = (f64::INFINITY, TPP_CANDIDATES[0]);
     for &tpp in &TPP_CANDIDATES {
-        let cfg = OneSidedConfig { threads_per_pair: tpp, max_sweeps: 1, tol: 0.0, ..Default::default() };
+        let cfg = OneSidedConfig {
+            threads_per_pair: tpp,
+            max_sweeps: 1,
+            tol: 0.0,
+            ..Default::default()
+        };
         if let Ok((_, stats)) = batched_svd_sm(gpu, &mats, &cfg, 128) {
             if stats.kernel_seconds < best.0 {
                 best = (stats.kernel_seconds, tpp);
@@ -223,7 +237,11 @@ pub fn generate_training_set(gpu: &Gpu, seed: u64) -> Vec<AlphaSample> {
         for (jj, &batch) in [1usize, 4, 16, 64, 200].iter().enumerate() {
             let tpp = measure_best_tpp(gpu, m_star, batch, seed + (i * 10 + jj) as u64);
             let label = TPP_CANDIDATES.iter().position(|&c| c == tpp).unwrap();
-            samples.push(AlphaSample { m_star, batch, label });
+            samples.push(AlphaSample {
+                m_star,
+                batch,
+                label,
+            });
         }
     }
     samples
@@ -255,12 +273,20 @@ mod tests {
         let mut samples = Vec::new();
         for m in [4usize, 8, 12, 16] {
             for b in [1usize, 10, 100] {
-                samples.push(AlphaSample { m_star: m, batch: b, label: 0 });
+                samples.push(AlphaSample {
+                    m_star: m,
+                    batch: b,
+                    label: 0,
+                });
             }
         }
         for m in [64usize, 128, 256] {
             for b in [1usize, 10, 100] {
-                samples.push(AlphaSample { m_star: m, batch: b, label: 3 });
+                samples.push(AlphaSample {
+                    m_star: m,
+                    batch: b,
+                    label: 3,
+                });
             }
         }
         let tree = DecisionTree::train(&samples, 4);
@@ -272,10 +298,26 @@ mod tests {
     #[test]
     fn tree_probabilities_sum_to_one() {
         let samples = vec![
-            AlphaSample { m_star: 8, batch: 1, label: 0 },
-            AlphaSample { m_star: 8, batch: 2, label: 1 },
-            AlphaSample { m_star: 64, batch: 1, label: 3 },
-            AlphaSample { m_star: 64, batch: 2, label: 3 },
+            AlphaSample {
+                m_star: 8,
+                batch: 1,
+                label: 0,
+            },
+            AlphaSample {
+                m_star: 8,
+                batch: 2,
+                label: 1,
+            },
+            AlphaSample {
+                m_star: 64,
+                batch: 1,
+                label: 3,
+            },
+            AlphaSample {
+                m_star: 64,
+                batch: 2,
+                label: 3,
+            },
         ];
         let tree = DecisionTree::train(&samples, 3);
         let p = tree.predict_proba(8, 1);

@@ -10,6 +10,7 @@
 use wsvd_gpu_sim::Gpu;
 use wsvd_linalg::generate::random_uniform;
 use wsvd_linalg::Matrix;
+use wsvd_trace::TraceSink;
 
 use crate::gemm::{batched_gram, batched_update, GemmStrategy};
 use crate::models::{tlp, TailorPlan};
@@ -53,41 +54,100 @@ pub const EVD_FALLBACK_W: usize = 24;
 /// `sizes` are the `(m_k, n_k)` dimensions of the matrices divided at this
 /// level; `m*` is their largest row count.
 pub fn auto_tune(sizes: &[(usize, usize)], threshold: f64) -> TailorPlan {
-    let m_star = sizes.iter().map(|&(m, _)| m).max().unwrap_or(8);
-    let cands = candidate_plans(m_star);
-    for plan in &cands {
-        if tlp(plan, sizes) > threshold {
-            return *plan;
-        }
-    }
-    fallback(&cands)
+    let scored = scored_candidates(sizes, usize::MAX);
+    scored[pick(&scored, threshold)].0
 }
 
-fn fallback(cands: &[TailorPlan]) -> TailorPlan {
-    cands
+/// Candidate plans at or under `w_cap`, each paired with its TLP objective
+/// `f_1` — the table the engine walks, in search order. Empty only under a
+/// degenerate cap that excludes the whole table.
+pub fn scored_candidates(sizes: &[(usize, usize)], w_cap: usize) -> Vec<(TailorPlan, f64)> {
+    let m_star = sizes.iter().map(|&(m, _)| m).max().unwrap_or(8);
+    candidate_plans(m_star)
+        .into_iter()
+        .filter(|p| p.w <= w_cap)
+        .map(|p| {
+            let f1 = tlp(&p, sizes);
+            (p, f1)
+        })
+        .collect()
+}
+
+/// Index of the plan the two-step method selects from a non-empty scored
+/// table: the first whose `f_1` clears the threshold, else the widest
+/// non-recursing fallback, else the table head.
+fn pick(scored: &[(TailorPlan, f64)], threshold: f64) -> usize {
+    scored
         .iter()
-        .copied()
-        .find(|p| p.w <= EVD_FALLBACK_W)
-        .unwrap_or(cands[0])
+        .position(|&(_, f1)| f1 > threshold)
+        .or_else(|| scored.iter().position(|&(p, _)| p.w <= EVD_FALLBACK_W))
+        .unwrap_or(0)
 }
 
 /// Constrains an auto-tuned plan so its `w` does not exceed a cap (the
 /// W-cycle imposes the SM-fit bound `w_h <= 48` and level monotonicity
 /// `w_{h+1} < w_h`).
 pub fn auto_tune_with_w_cap(sizes: &[(usize, usize)], threshold: f64, w_cap: usize) -> TailorPlan {
-    let m_star = sizes.iter().map(|&(m, _)| m).max().unwrap_or(8);
-    let cands: Vec<TailorPlan> =
-        candidate_plans(m_star).into_iter().filter(|p| p.w <= w_cap).collect();
-    if cands.is_empty() {
+    auto_tune_with_w_cap_traced(sizes, threshold, w_cap, &TraceSink::disabled(), 0, 0, 0.0)
+}
+
+/// Like [`auto_tune_with_w_cap`], additionally emitting one `plan` instant
+/// on `trace` (track `autotune`, timestamp `now` in simulated seconds)
+/// carrying the chosen plan and the TLP scores of every candidate the
+/// engine rejected. A disabled sink makes this identical to the untraced
+/// call.
+pub fn auto_tune_with_w_cap_traced(
+    sizes: &[(usize, usize)],
+    threshold: f64,
+    w_cap: usize,
+    trace: &TraceSink,
+    pid: u32,
+    level: usize,
+    now: f64,
+) -> TailorPlan {
+    let scored = scored_candidates(sizes, w_cap);
+    let (plan, chosen) = if scored.is_empty() {
         // Degenerate cap: synthesize the smallest-footprint plan.
-        return TailorPlan::new(w_cap.max(1), (m_star / 8).max(1), 128);
+        let m_star = sizes.iter().map(|&(m, _)| m).max().unwrap_or(8);
+        (
+            TailorPlan::new(w_cap.max(1), (m_star / 8).max(1), 128),
+            None,
+        )
+    } else {
+        let idx = pick(&scored, threshold);
+        (scored[idx].0, Some(idx))
+    };
+    if trace.is_enabled() {
+        let rejected = scored
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != chosen)
+            .map(|(_, (p, f1))| format!("w={} d={} T={} f1={:.1}", p.w, p.delta, p.threads, f1))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let chosen_f1 = chosen
+            .map(|i| scored[i].1)
+            .unwrap_or_else(|| tlp(&plan, sizes));
+        trace.instant(
+            pid,
+            "autotune",
+            "plan",
+            now,
+            vec![
+                ("level", level.into()),
+                ("batch", sizes.len().into()),
+                ("w_cap", w_cap.into()),
+                ("threshold", threshold.into()),
+                ("w", plan.w.into()),
+                ("delta", plan.delta.into()),
+                ("threads", plan.threads.into()),
+                ("tlp", chosen_f1.into()),
+                ("threshold_met", u64::from(chosen_f1 > threshold).into()),
+                ("rejected", rejected.into()),
+            ],
+        );
     }
-    for plan in &cands {
-        if tlp(plan, sizes) > threshold {
-            return *plan;
-        }
-    }
-    fallback(&cands)
+    plan
 }
 
 /// Calibrates the TLP threshold for a device (done "only once for a
@@ -191,6 +251,40 @@ mod tests {
         let sizes = vec![(64, 64); 4];
         let plan = auto_tune_with_w_cap(&sizes, V100_TLP_THRESHOLD, 12);
         assert!(plan.w <= 12);
+    }
+
+    #[test]
+    fn traced_selection_matches_untraced_and_records_rejects() {
+        let sizes = vec![(256usize, 256usize); 100];
+        let sink = wsvd_trace::TraceSink::enabled();
+        let pid = sink.register_process("test");
+        let traced =
+            auto_tune_with_w_cap_traced(&sizes, V100_TLP_THRESHOLD, 48, &sink, pid, 1, 0.25);
+        assert_eq!(traced, auto_tune_with_w_cap(&sizes, V100_TLP_THRESHOLD, 48));
+
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].track, "autotune");
+        assert_eq!(evs[0].name, "plan");
+        let arg = |key: &str| {
+            evs[0]
+                .args
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(arg("w"), wsvd_trace::ArgValue::U64(traced.w as u64));
+        assert_eq!(arg("threshold_met"), wsvd_trace::ArgValue::U64(1));
+        match arg("rejected") {
+            wsvd_trace::ArgValue::Str(s) => {
+                // The paper's example walks past three candidates; all other
+                // scored rows are recorded as rejected too.
+                assert_eq!(s.matches("f1=").count(), 7, "rejected list: {s}");
+                assert!(s.contains("w=48"), "rejected list: {s}");
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
     }
 
     #[test]

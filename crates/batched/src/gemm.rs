@@ -55,11 +55,19 @@ pub fn tailor_assignment(row_counts: &[usize], delta: usize) -> Vec<Vec<Segment>
     for (g, &m) in row_counts.iter().enumerate() {
         let full = m / delta;
         for s in 0..full {
-            blocks.push(vec![Segment { gemm: g, row_start: s * delta, rows: delta }]);
+            blocks.push(vec![Segment {
+                gemm: g,
+                row_start: s * delta,
+                rows: delta,
+            }]);
         }
         let rem = m - full * delta;
         if rem > 0 {
-            residuals.push(Segment { gemm: g, row_start: full * delta, rows: rem });
+            residuals.push(Segment {
+                gemm: g,
+                row_start: full * delta,
+                rows: rem,
+            });
         }
     }
     // Pack residual segments into shared blocks until 1.2δ rows are reached.
@@ -130,7 +138,10 @@ pub fn batched_gram(
                         grams[g] = Some(p);
                     }
                 }
-                let grams = grams.into_iter().map(|g| g.expect("one segment per gemm")).collect();
+                let grams = grams
+                    .into_iter()
+                    .map(|g| g.expect("one segment per gemm"))
+                    .collect();
                 return Ok((grams, stats1));
             }
 
@@ -248,8 +259,22 @@ mod tests {
         // One 100-row GEMM at δ=32: 3 standard segments + 1 residual (4 rows).
         let a = tailor_assignment(&[100], 32);
         assert_eq!(a.len(), 4);
-        assert_eq!(a[0], vec![Segment { gemm: 0, row_start: 0, rows: 32 }]);
-        assert_eq!(a[3], vec![Segment { gemm: 0, row_start: 96, rows: 4 }]);
+        assert_eq!(
+            a[0],
+            vec![Segment {
+                gemm: 0,
+                row_start: 0,
+                rows: 32
+            }]
+        );
+        assert_eq!(
+            a[3],
+            vec![Segment {
+                gemm: 0,
+                row_start: 96,
+                rows: 4
+            }]
+        );
     }
 
     #[test]
@@ -274,8 +299,12 @@ mod tests {
     fn gram_strategies_agree_numerically() {
         let gpu = Gpu::new(V100);
         let blocks = random_batch(5, 48, 16, 3);
-        let (plain, _) =
-            batched_gram(&gpu, &blocks, GemmStrategy::OneBlockPerGemm { threads: 256 }).unwrap();
+        let (plain, _) = batched_gram(
+            &gpu,
+            &blocks,
+            GemmStrategy::OneBlockPerGemm { threads: 256 },
+        )
+        .unwrap();
         let (tailored, _) = batched_gram(&gpu, &blocks, plan(8, 16)).unwrap();
         for (p, t) in plain.iter().zip(&tailored) {
             assert!(p.sub(t).max_abs() < 1e-12);
@@ -290,8 +319,13 @@ mod tests {
         let js: Vec<Matrix> = (0..4)
             .map(|k| wsvd_linalg::householder::seeded_orthogonal(8, k as u64 + 1))
             .collect();
-        batched_update(&gpu, &mut b1, &js, GemmStrategy::OneBlockPerGemm { threads: 256 })
-            .unwrap();
+        batched_update(
+            &gpu,
+            &mut b1,
+            &js,
+            GemmStrategy::OneBlockPerGemm { threads: 256 },
+        )
+        .unwrap();
         batched_update(&gpu, &mut b2, &js, plan(4, 16)).unwrap();
         for (x, y) in b1.iter().zip(&b2) {
             assert!(x.sub(y).max_abs() < 1e-12);
@@ -303,8 +337,12 @@ mod tests {
         // 2 tall GEMMs: one block each starves the device; 16 segments fill it.
         let gpu = Gpu::new(V100);
         let blocks = random_batch(2, 2048, 16, 7);
-        let (_, plain) =
-            batched_gram(&gpu, &blocks, GemmStrategy::OneBlockPerGemm { threads: 256 }).unwrap();
+        let (_, plain) = batched_gram(
+            &gpu,
+            &blocks,
+            GemmStrategy::OneBlockPerGemm { threads: 256 },
+        )
+        .unwrap();
         let (_, tailored) = batched_gram(&gpu, &blocks, plan(8, 128)).unwrap();
         assert!(
             tailored.kernel_seconds < plain.kernel_seconds,
@@ -330,7 +368,7 @@ mod tests {
         let mut blocks = random_batch(1, 10, 4, 13);
         let orig = blocks[0].clone();
         let j = wsvd_linalg::householder::seeded_orthogonal(4, 9);
-        batched_update(&gpu, &mut blocks, &[j.clone()], plan(4, 4)).unwrap();
+        batched_update(&gpu, &mut blocks, std::slice::from_ref(&j), plan(4, 4)).unwrap();
         assert!(blocks[0].sub(&matmul(&orig, &j)).max_abs() < 1e-12);
     }
 

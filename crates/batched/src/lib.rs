@@ -16,6 +16,9 @@ pub mod gemm;
 pub mod models;
 
 pub use alpha::{alpha_gcf, DecisionTree, TPP_CANDIDATES};
-pub use autotune::{auto_tune, auto_tune_with_w_cap, calibrate_threshold, candidate_plans, V100_TLP_THRESHOLD};
+pub use autotune::{
+    auto_tune, auto_tune_with_w_cap, auto_tune_with_w_cap_traced, calibrate_threshold,
+    candidate_plans, scored_candidates, V100_TLP_THRESHOLD,
+};
 pub use gemm::{batched_gram, batched_update, tailor_assignment, GemmStrategy, Segment};
 pub use models::{ai_gram, ai_update, tlp, TailorPlan};

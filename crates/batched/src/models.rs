@@ -21,7 +21,11 @@ pub struct TailorPlan {
 impl TailorPlan {
     /// Creates a plan, clamping degenerate values.
     pub fn new(w: usize, delta: usize, threads: usize) -> Self {
-        Self { w: w.max(1), delta: delta.max(1), threads: threads.max(1) }
+        Self {
+            w: w.max(1),
+            delta: delta.max(1),
+            threads: threads.max(1),
+        }
     }
 }
 
@@ -32,7 +36,10 @@ impl TailorPlan {
 pub fn tlp(plan: &TailorPlan, sizes: &[(usize, usize)]) -> f64 {
     let t = plan.threads as f64;
     let denom = (2 * plan.w * plan.delta) as f64;
-    sizes.iter().map(|&(m, n)| (n as f64 * m as f64) / denom * t).sum()
+    sizes
+        .iter()
+        .map(|&(m, n)| (n as f64 * m as f64) / denom * t)
+        .sum()
 }
 
 /// Arithmetic intensity of the Gram GEMM (Eq. 9, first line):
@@ -59,7 +66,11 @@ mod tests {
         let sizes = vec![(256usize, 256usize); 100];
         // First candidate (w=48, δ=256, T=256): f1 = 68,267.
         let p1 = TailorPlan::new(48, 256, 256);
-        assert!((tlp(&p1, &sizes) - 68_266.7).abs() < 1.0, "got {}", tlp(&p1, &sizes));
+        assert!(
+            (tlp(&p1, &sizes) - 68_266.7).abs() < 1.0,
+            "got {}",
+            tlp(&p1, &sizes)
+        );
         // Fourth candidate (w=16, δ=128, T=256): f1 = 409,600.
         let p4 = TailorPlan::new(16, 128, 256);
         assert!((tlp(&p4, &sizes) - 409_600.0).abs() < 1.0);

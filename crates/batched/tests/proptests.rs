@@ -13,7 +13,9 @@ use wsvd_linalg::Matrix;
 
 fn arb_blocks() -> impl Strategy<Value = Vec<Matrix>> {
     (1usize..6, 1usize..50, 1usize..10, any::<u64>()).prop_map(|(count, m, n, seed)| {
-        (0..count).map(|k| random_uniform(m * 3, n, seed.wrapping_add(k as u64))).collect()
+        (0..count)
+            .map(|k| random_uniform(m * 3, n, seed.wrapping_add(k as u64)))
+            .collect()
     })
 }
 

@@ -35,7 +35,14 @@ fn bench_batched_gemm_strategies(c: &mut Criterion) {
     let js: Vec<Matrix> = (0..16).map(|k| seeded_orthogonal(16, k as u64)).collect();
     g.bench_function("gram_one_block_per_gemm", |b| {
         let gpu = Gpu::new(V100);
-        b.iter(|| batched_gram(&gpu, &blocks, GemmStrategy::OneBlockPerGemm { threads: 256 }).unwrap())
+        b.iter(|| {
+            batched_gram(
+                &gpu,
+                &blocks,
+                GemmStrategy::OneBlockPerGemm { threads: 256 },
+            )
+            .unwrap()
+        })
     });
     g.bench_function("gram_tailored", |b| {
         let gpu = Gpu::new(V100);
@@ -64,7 +71,10 @@ fn bench_sm_svd_kernel(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("no_cache", n), &n, |b, _| {
             let gpu = Gpu::new(V100);
-            let cfg = OneSidedConfig { cache_norms: false, ..Default::default() };
+            let cfg = OneSidedConfig {
+                cache_norms: false,
+                ..Default::default()
+            };
             b.iter(|| batched_svd_sm(&gpu, &mats, &cfg, 128).unwrap())
         });
     }
@@ -74,10 +84,16 @@ fn bench_sm_svd_kernel(c: &mut Criterion) {
 fn bench_evd_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("evd_kernel");
     let mats: Vec<Matrix> = (0..8).map(|k| random_symmetric(32, k as u64)).collect();
-    for (label, variant) in [("parallel", EvdVariant::Parallel), ("sequential", EvdVariant::Sequential)] {
+    for (label, variant) in [
+        ("parallel", EvdVariant::Parallel),
+        ("sequential", EvdVariant::Sequential),
+    ] {
         g.bench_function(label, |b| {
             let gpu = Gpu::new(V100);
-            let cfg = EvdConfig { variant, ..Default::default() };
+            let cfg = EvdConfig {
+                variant,
+                ..Default::default()
+            };
             b.iter(|| batched_evd_sm(&gpu, &mats, &cfg, 256).unwrap())
         });
     }

@@ -49,7 +49,10 @@ fn bench_width_schedules(c: &mut Criterion) {
     for &w in &[8usize, 16, 24] {
         g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
             let gpu = Gpu::new(V100);
-            let cfg = WCycleConfig { tuning: Tuning::Widths(vec![w]), ..Default::default() };
+            let cfg = WCycleConfig {
+                tuning: Tuning::Widths(vec![w]),
+                ..Default::default()
+            };
             b.iter(|| wcycle_svd(&gpu, &mats, &cfg).unwrap())
         });
     }

@@ -3,10 +3,15 @@
 //! Usage:
 //! ```text
 //!   repro --list
-//!   repro <id> [<id> ...] [--scale reduced|full] [--json DIR]
-//!   repro --all [--scale reduced|full] [--json DIR]
+//!   repro <id> [<id> ...] [--scale reduced|full] [--json DIR] [--trace FILE]
+//!   repro --all [--scale reduced|full] [--json DIR] [--trace FILE]
 //!   repro --check DIR [<id> ...]     # regression-compare against stored JSON
 //! ```
+//!
+//! `--trace FILE` records every simulated kernel launch, W-cycle sweep and
+//! auto-tuner decision, writes a Chrome trace-event JSON timeline to FILE
+//! (load it at <https://ui.perfetto.dev>) and prints a flame summary to
+//! stderr.
 
 use std::io::Write;
 use wsvd_bench::{all_experiments, Report, Scale};
@@ -16,6 +21,7 @@ fn main() {
     let mut scale = Scale::Reduced;
     let mut json_dir: Option<String> = None;
     let mut check_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
     let mut it = args.into_iter();
@@ -37,9 +43,31 @@ fn main() {
             }
             "--json" => json_dir = Some(it.next().expect("--json needs a directory")),
             "--check" => check_dir = Some(it.next().expect("--check needs a directory")),
+            "--trace" => trace_path = Some(it.next().expect("--trace needs a file")),
             other => ids.push(other.to_string()),
         }
     }
+    // The sink must be installed before any experiment constructs a `Gpu`,
+    // which picks the global sink up at construction time.
+    let trace_sink = trace_path.as_ref().map(|_| {
+        let sink = wsvd_trace::TraceSink::enabled();
+        wsvd_trace::install_global(sink.clone());
+        sink
+    });
+    let dump_trace = |sink: &Option<wsvd_trace::TraceSink>| {
+        let (Some(sink), Some(path)) = (sink, &trace_path) else {
+            return;
+        };
+        let events = sink.events();
+        let processes = sink.processes();
+        std::fs::write(path, wsvd_trace::chrome_trace_json(&events, &processes))
+            .expect("write trace file");
+        eprintln!("{}", wsvd_trace::flame_summary(&events, &processes));
+        eprintln!(
+            "wrote {} trace events to {path} (open at https://ui.perfetto.dev)",
+            events.len()
+        );
+    };
     let experiments = all_experiments();
     if run_all {
         ids = experiments.iter().map(|(id, _)| id.to_string()).collect();
@@ -74,6 +102,7 @@ fn main() {
                 }
             }
         }
+        dump_trace(&trace_sink);
         std::process::exit(if failed > 0 { 1 } else { 0 });
     }
     if ids.is_empty() {
@@ -93,7 +122,10 @@ fn main() {
         let start = std::time::Instant::now();
         let rep = f(scale);
         println!("{}", rep.render());
-        println!("   (regenerated in {:.1} s wall-clock)\n", start.elapsed().as_secs_f64());
+        println!(
+            "   (regenerated in {:.1} s wall-clock)\n",
+            start.elapsed().as_secs_f64()
+        );
         reports.push(rep);
     }
     if let Some(dir) = json_dir {
@@ -101,8 +133,10 @@ fn main() {
         for rep in &reports {
             let path = format!("{dir}/{}.json", rep.id);
             let mut f = std::fs::File::create(&path).expect("create json file");
-            f.write_all(serde_json::to_string_pretty(rep).unwrap().as_bytes()).unwrap();
+            f.write_all(serde_json::to_string_pretty(rep).unwrap().as_bytes())
+                .unwrap();
             eprintln!("wrote {path}");
         }
     }
+    dump_trace(&trace_sink);
 }

@@ -32,8 +32,16 @@ pub fn tab7(scale: Scale) -> Report {
     let mut rep = Report::new(
         "tab7",
         "Sweeps until error < 1e-12 on SuiteSparse stand-ins (Table VII)",
-        &scale.note(&format!("synthetic spectra at {factor} of paper dimensions")),
-        &["matrix", "size", "cond", "cuSOLVER sweeps", "W-cycle sweeps"],
+        &scale.note(&format!(
+            "synthetic spectra at {factor} of paper dimensions"
+        )),
+        &[
+            "matrix",
+            "size",
+            "cond",
+            "cuSOLVER sweeps",
+            "W-cycle sweeps",
+        ],
         "W-cycle needs fewer sweeps; higher condition numbers delay both",
     );
     for spec in TABLE_VII {
@@ -57,11 +65,28 @@ pub fn tab7(scale: Scale) -> Report {
 fn error_after_sweeps(a: &Matrix, reference: &[f64], k: usize, wcycle: bool) -> f64 {
     let gpu = Gpu::new(V100);
     let sigma = if wcycle {
-        let cfg = WCycleConfig { max_sweeps: k, tol: 0.0, ..Default::default() };
-        wcycle_svd(&gpu, std::slice::from_ref(a), &cfg).unwrap().results.pop().unwrap().sigma
+        let cfg = WCycleConfig {
+            max_sweeps: k,
+            tol: 0.0,
+            ..Default::default()
+        };
+        wcycle_svd(&gpu, std::slice::from_ref(a), &cfg)
+            .unwrap()
+            .results
+            .pop()
+            .unwrap()
+            .sigma
     } else {
-        let cfg = BlockJacobiConfig { max_sweeps: k, tol: 0.0, ..Default::default() };
-        block_jacobi_svd(&gpu, std::slice::from_ref(a), &cfg).unwrap().pop().unwrap().sigma
+        let cfg = BlockJacobiConfig {
+            max_sweeps: k,
+            tol: 0.0,
+            ..Default::default()
+        };
+        block_jacobi_svd(&gpu, std::slice::from_ref(a), &cfg)
+            .unwrap()
+            .pop()
+            .unwrap()
+            .sigma
     };
     spectrum_distance(&sigma, reference)
 }
@@ -82,7 +107,11 @@ pub fn fig15a(scale: Scale) -> Report {
     for k in 1..=scale.pick(4, 8) {
         let cu = error_after_sweeps(&a, &reference, k, false);
         let wc = error_after_sweeps(&a, &reference, k, true);
-        rep.push_row(vec![k.to_string(), format!("{cu:.3e}"), format!("{wc:.3e}")]);
+        rep.push_row(vec![
+            k.to_string(),
+            format!("{cu:.3e}"),
+            format!("{wc:.3e}"),
+        ]);
     }
     rep
 }
@@ -97,7 +126,12 @@ pub fn fig15b(scale: Scale) -> Report {
         "fig15b",
         "Rotations per sweep vs tile size (Fig. 15b)",
         &scale.note(&format!("{}x{} stand-in", a.rows(), a.cols())),
-        &["w", "δ", "rotations/sweep (analytic)", "rotations/sweep (measured)"],
+        &[
+            "w",
+            "δ",
+            "rotations/sweep (analytic)",
+            "rotations/sweep (measured)",
+        ],
         "rotations/sweep shrink as w grows; δ does not affect convergence",
     );
     for &w in &[4usize, 8, 16] {
@@ -148,7 +182,10 @@ mod tests {
     fn fig15b_delta_does_not_change_rotations() {
         let rep = fig15b(Scale::Reduced);
         for pair in rep.rows.chunks(2) {
-            assert_eq!(pair[0][3], pair[1][3], "δ changed the rotation count: {pair:?}");
+            assert_eq!(
+                pair[0][3], pair[1][3],
+                "δ changed the rotation count: {pair:?}"
+            );
         }
     }
 }

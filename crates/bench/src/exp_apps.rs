@@ -29,7 +29,10 @@ pub fn fig14b(scale: Scale) -> Report {
             // Both engines must agree on the analysis weights.
             let (wn, mn) = (wcycle.weight_norms(), magma.weight_norms());
             for (a, b) in wn.iter().zip(&mn) {
-                assert!((a - b).abs() < 1e-6 * (1.0 + b), "engines disagree: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-6 * (1.0 + b),
+                    "engines disagree: {a} vs {b}"
+                );
             }
             rep.push_row(vec![
                 gpus.to_string(),

@@ -35,13 +35,23 @@ fn time_magma(device: DeviceSpec, mats: &[Matrix]) -> f64 {
 /// Fig. 7: W-cycle vs cuSOLVER's batched kernel (`m, n <= 32`), over matrix
 /// shapes and batch sizes.
 pub fn fig7(scale: Scale) -> Report {
-    fig7_on(scale, V100, "fig7", "W-cycle vs cuSOLVER gesvdjBatched (Fig. 7)")
+    fig7_on(
+        scale,
+        V100,
+        "fig7",
+        "W-cycle vs cuSOLVER gesvdjBatched (Fig. 7)",
+    )
 }
 
 /// Fig. 13: the same grid on the A100, whose tensor cores accelerate the
 /// per-level batched GEMMs.
 pub fn fig13(scale: Scale) -> Report {
-    let mut rep = fig7_on(scale, A100, "fig13", "W-cycle vs cuSOLVER on A100 with tensor cores (Fig. 13)");
+    let mut rep = fig7_on(
+        scale,
+        A100,
+        "fig13",
+        "W-cycle vs cuSOLVER on A100 with tensor cores (Fig. 13)",
+    );
     rep.shape_claim =
         "speedups persist on A100; tensor cores push the envelope further".to_string();
     rep
@@ -89,7 +99,12 @@ pub fn fig8a(scale: Scale) -> Report {
         let mats = random_batch(1, n, n, n as u64);
         let cu = time_cusolver(V100, &mats);
         let wc = time_wcycle(V100, &mats);
-        rep.push_row(vec![n.to_string(), fmt_secs(cu), fmt_secs(wc), fmt_speedup(cu, wc)]);
+        rep.push_row(vec![
+            n.to_string(),
+            fmt_secs(cu),
+            fmt_secs(wc),
+            fmt_speedup(cu, wc),
+        ]);
     }
     rep
 }
@@ -159,7 +174,14 @@ pub fn tab4(scale: Scale) -> Report {
         "tab4",
         "SVDs of 200 matrices on P100 (Table IV)",
         &scale.note("paper: 200 matrices of 100..512; reduced: 20 of 50..160"),
-        &["size", "DP_Direct", "DP_Gram", "cuSOLVER", "W-cycle", "vs best DP"],
+        &[
+            "size",
+            "DP_Direct",
+            "DP_Gram",
+            "cuSOLVER",
+            "W-cycle",
+            "vs best DP",
+        ],
         "W-cycle beats Batched_DP_Direct/Gram by 4.1~8.6x / 3.6~11x",
     );
     let batch = scale.dim(200, 10, 8);
@@ -313,8 +335,14 @@ mod tests {
             assert!(cu > direct.min(gram), "cuSOLVER not worst: {row:?}");
             assert!(wc < 1.5 * direct.min(gram), "W-cycle size-trapped: {row:?}");
         }
-        assert!(speedup(&rep.rows[0][5]) > 2.0, "no clear win at the small end");
-        assert!(speedup(rep.rows.last().unwrap().last().unwrap()) > 2.0, "no clear win at the large end");
+        assert!(
+            speedup(&rep.rows[0][5]) > 2.0,
+            "no clear win at the small end"
+        );
+        assert!(
+            speedup(rep.rows.last().unwrap().last().unwrap()) > 2.0,
+            "no clear win at the large end"
+        );
     }
 
     #[test]
@@ -323,7 +351,11 @@ mod tests {
         // paper's batch-1 sizes start at 500); the batched rows must show
         // the W-cycle win, growing with the batch.
         let rep = fig9(Scale::Reduced);
-        for row in rep.rows.iter().filter(|r| r[1].parse::<usize>().unwrap() >= 10) {
+        for row in rep
+            .rows
+            .iter()
+            .filter(|r| r[1].parse::<usize>().unwrap() >= 10)
+        {
             assert!(speedup(&row[4]) > 1.0, "{row:?}");
         }
         // Within each size, speedup grows with batch.

@@ -2,7 +2,9 @@
 //! * `ext-ablation` — the design-choice ablations DESIGN.md §5 calls out
 //!   (the three advantages of §III-D plus the §IV optimizations);
 //! * `ext-lowp` — the §V-E low-precision sketch (f32/bf16 storage);
-//! * `ext-profile` — the per-kernel time/traffic breakdown behind §V-B.
+//! * `ext-profile` — the per-kernel time/traffic breakdown behind §V-B;
+//! * `ext-trace` — the structured-trace view of the fig7 workload
+//!   (kernel spans, sweep telemetry, auto-tuner decisions).
 
 use wsvd_core::{wcycle_svd, AlphaSelect, Tuning, WCycleConfig};
 use wsvd_gpu_sim::{Gpu, V100};
@@ -29,23 +31,47 @@ pub fn ext_ablation(scale: Scale) -> Report {
     let mats = random_batch(batch, n, n, 4096 + n as u64);
     let variants: Vec<(&str, WCycleConfig)> = vec![
         ("full W-cycle", WCycleConfig::default()),
-        ("no tailoring", WCycleConfig { tailor_gemm: false, ..Default::default() }),
-        ("no norm cache (Eq. 6 off)", WCycleConfig { cache_norms: false, ..Default::default() }),
+        (
+            "no tailoring",
+            WCycleConfig {
+                tailor_gemm: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no norm cache (Eq. 6 off)",
+            WCycleConfig {
+                cache_norms: false,
+                ..Default::default()
+            },
+        ),
         (
             "one warp per pair (no α)",
-            WCycleConfig { alpha: AlphaSelect::Fixed(32), ..Default::default() },
+            WCycleConfig {
+                alpha: AlphaSelect::Fixed(32),
+                ..Default::default()
+            },
         ),
         (
             "static w = 8 (no multilevel)",
-            WCycleConfig { tuning: Tuning::Widths(vec![8]), ..Default::default() },
+            WCycleConfig {
+                tuning: Tuning::Widths(vec![8]),
+                ..Default::default()
+            },
         ),
         (
             "dynamic ordering (ref. [12])",
-            WCycleConfig { dynamic_ordering: true, ..Default::default() },
+            WCycleConfig {
+                dynamic_ordering: true,
+                ..Default::default()
+            },
         ),
         (
             "QR preconditioning (refs. [5]/[42])",
-            WCycleConfig { qr_precondition: true, ..Default::default() },
+            WCycleConfig {
+                qr_precondition: true,
+                ..Default::default()
+            },
         ),
     ];
     let mut full_time = 0.0f64;
@@ -74,8 +100,15 @@ pub fn ext_lowp(scale: Scale) -> Report {
     let mut rep = Report::new(
         "ext-lowp",
         "Low-precision storage sketch (§V-E extension)",
-        &scale.note(&format!("one {n}x{n} matrix; f64 kernels on quantized data")),
-        &["precision", "max w (EVD fit)", "max pair rows (SVD fit, 2w=32)", "spectrum error"],
+        &scale.note(&format!(
+            "one {n}x{n} matrix; f64 kernels on quantized data"
+        )),
+        &[
+            "precision",
+            "max w (EVD fit)",
+            "max pair rows (SVD fit, 2w=32)",
+            "spectrum error",
+        ],
         "f32/bf16 double/quadruple the SM budget; error tracks the unit roundoff",
     );
     let a = wsvd_linalg::generate::random_uniform(n, n, 31415);
@@ -145,6 +178,93 @@ pub fn ext_profile(scale: Scale) -> Report {
     rep
 }
 
+/// Structured-trace view of the fig7 workload (tentpole extension): each
+/// shape runs with an enabled [`wsvd_trace::TraceSink`] and the report
+/// summarizes what the trace recorded — kernel spans and simulated busy
+/// time, per-sweep convergence instants, and the auto-tuner's plan choice.
+/// Under `repro --trace FILE` these events also land in the exported
+/// Perfetto timeline (the experiment reuses the global sink).
+pub fn ext_trace(scale: Scale) -> Report {
+    let batch = scale.dim(100, 5, 10);
+    let mut rep = Report::new(
+        "ext-trace",
+        "Structured-trace telemetry on the fig7 workload (extension)",
+        &scale.note(&format!("fig7 shapes plus one 96x96 multilevel row, batch {batch}")),
+        &["m", "n", "kernel spans", "busy", "sweeps", "plan w", "final coherence"],
+        "every launch, sweep and plan decision is visible in the timeline; coherence collapses below tol",
+    );
+    let global = wsvd_trace::global();
+    let sink = if global.is_enabled() {
+        global
+    } else {
+        wsvd_trace::TraceSink::enabled()
+    };
+    // The fig7 grid exercises the level-0 kernel spans; the trailing 96x96
+    // row descends into the W-cycle, where the sweep/auto-tune telemetry
+    // lives.
+    for &(m, n) in &[
+        (8usize, 32usize),
+        (16, 32),
+        (32, 32),
+        (32, 16),
+        (32, 8),
+        (96, 96),
+    ] {
+        let before = sink.events().len();
+        let gpu = Gpu::with_trace(V100, sink.clone());
+        let mats = random_batch(batch, m, n, (m * 100 + n) as u64);
+        wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+        let events: Vec<wsvd_trace::Event> = sink.events().into_iter().skip(before).collect();
+
+        let kernel_spans = events
+            .iter()
+            .filter(|e| {
+                e.track == "kernels" && matches!(e.kind, wsvd_trace::EventKind::Span { .. })
+            })
+            .count();
+        let busy: f64 = events
+            .iter()
+            .filter(|e| e.track == "kernels")
+            .filter_map(|e| match e.kind {
+                wsvd_trace::EventKind::Span { dur, .. } => Some(dur),
+                _ => None,
+            })
+            .sum();
+        let sweeps: Vec<&wsvd_trace::Event> = events
+            .iter()
+            .filter(|e| e.track == "wcycle" && e.name == "sweep")
+            .collect();
+        let coherence = sweeps
+            .last()
+            .and_then(|e| {
+                e.args.iter().find_map(|(k, v)| match (k, v) {
+                    (&"coherence", wsvd_trace::ArgValue::F64(x)) => Some(*x),
+                    _ => None,
+                })
+            })
+            .unwrap_or(0.0);
+        let plan_w = events
+            .iter()
+            .find(|e| e.track == "autotune" && e.name == "plan")
+            .and_then(|e| {
+                e.args.iter().find_map(|(k, v)| match (k, v) {
+                    (&"w", wsvd_trace::ArgValue::U64(w)) => Some(*w),
+                    _ => None,
+                })
+            });
+        rep.push_row(vec![
+            m.to_string(),
+            n.to_string(),
+            kernel_spans.to_string(),
+            fmt_secs(busy),
+            sweeps.len().to_string(),
+            plan_w.map_or_else(|| "-".to_string(), |w| w.to_string()),
+            format!("{coherence:.2e}"),
+        ]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,7 +276,10 @@ mod tests {
         assert!((full - 1.0).abs() < 1e-9);
         for row in &rep.rows[1..4] {
             let ratio: f64 = row[3].trim_end_matches('x').parse().unwrap();
-            assert!(ratio >= 0.95, "removing an optimization should not help: {row:?}");
+            assert!(
+                ratio >= 0.95,
+                "removing an optimization should not help: {row:?}"
+            );
         }
     }
 
@@ -171,9 +294,43 @@ mod tests {
     }
 
     #[test]
+    fn trace_view_sees_kernels_and_convergence() {
+        let rep = ext_trace(Scale::Reduced);
+        assert_eq!(rep.rows.len(), 6);
+        for row in &rep.rows {
+            let spans: usize = row[2].parse().unwrap();
+            assert!(spans > 0, "every shape launches kernels: {row:?}");
+        }
+        // fig7 shapes resolve whole at level 0: the SM kernel still records
+        // per-sweep coherence, but no GEMM plan is tuned (the alpha-warp
+        // selection carries threads-per-pair, not a width).
+        assert!(
+            rep.rows[0][4].parse::<usize>().unwrap() > 0,
+            "expected kernel-recorded sweeps: {:?}",
+            rep.rows[0]
+        );
+        assert_eq!(rep.rows[0][5], "-");
+        // The 96x96 row descends: sweeps, a plan, and collapsed coherence.
+        let deep = rep.rows.last().unwrap();
+        assert!(
+            deep[4].parse::<usize>().unwrap() > 0,
+            "expected sweeps: {deep:?}"
+        );
+        assert!(
+            deep[5].parse::<usize>().unwrap() > 0,
+            "expected a plan width: {deep:?}"
+        );
+        let coherence: f64 = deep[6].parse().unwrap();
+        assert!(coherence < 1e-9, "final coherence not converged: {deep:?}");
+    }
+
+    #[test]
     fn profile_covers_the_run() {
         let rep = ext_profile(Scale::Reduced);
         assert!(rep.rows.len() >= 3, "expected several kernel labels");
-        assert!(rep.rows.iter().any(|r| r[0].contains("svd") || r[0].contains("evd")));
+        assert!(rep
+            .rows
+            .iter()
+            .any(|r| r[0].contains("svd") || r[0].contains("evd")));
     }
 }

@@ -73,7 +73,9 @@ pub fn fig2(scale: Scale) -> Report {
     let mut rep = Report::new(
         "fig2",
         "One-sided Jacobi vs column-block width w (Fig. 2)",
-        &scale.note(&format!("{batch} matrices of {n}x{n} (paper: 100 of 1536x1536)")),
+        &scale.note(&format!(
+            "{batch} matrices of {n}x{n} (paper: 100 of 1536x1536)"
+        )),
         &["w", "rotations/sweep", "sweeps", "time", "in SM?"],
         "rotations/sweep decreases with w; time jumps once w > 24 (SM overflow)",
     );
@@ -88,7 +90,12 @@ pub fn fig2(scale: Scale) -> Report {
         } else {
             RotationSource::DirectSvd
         };
-        let cfg = BlockJacobiConfig { w, rotation, max_sweeps: 30, ..Default::default() };
+        let cfg = BlockJacobiConfig {
+            w,
+            rotation,
+            max_sweeps: 30,
+            ..Default::default()
+        };
         let outs = block_jacobi_svd(&gpu, &mats, &cfg).unwrap();
         let sweeps = outs.iter().map(|o| o.sweeps).max().unwrap_or(0);
         let fits = svd_fits_in_sm(n, 2 * w, V100.smem_per_block_bytes)
@@ -154,12 +161,18 @@ pub fn fig10b(scale: Scale) -> Report {
     );
     let batches: &[usize] = scale.pick(&[10usize, 50, 100][..], &[10, 100, 500][..]);
     for &batch in batches {
-        let mats: Vec<_> = (0..batch).map(|k| random_symmetric(32, 100 + k as u64)).collect();
+        let mats: Vec<_> = (0..batch)
+            .map(|k| random_symmetric(32, 100 + k as u64))
+            .collect();
         // Fixed sweep count: kernel-cost comparison (the sequential variant
         // would otherwise converge in fewer, far more expensive sweeps).
         let run = |variant: EvdVariant| {
             let gpu = Gpu::new(V100);
-            let cfg = EvdConfig { variant, max_sweeps: 6, tol: 0.0 };
+            let cfg = EvdConfig {
+                variant,
+                max_sweeps: 6,
+                tol: 0.0,
+            };
             batched_evd_sm(&gpu, &mats, &cfg, 256).unwrap();
             gpu.elapsed_seconds()
         };

@@ -17,7 +17,10 @@ fn time_with(mats: &[Matrix], cfg: &WCycleConfig) -> f64 {
 }
 
 fn fixed_plan_cfg(w: usize, delta: usize, threads: usize) -> WCycleConfig {
-    WCycleConfig { tuning: Tuning::Fixed(TailorPlan::new(w, delta, threads)), ..Default::default() }
+    WCycleConfig {
+        tuning: Tuning::Fixed(TailorPlan::new(w, delta, threads)),
+        ..Default::default()
+    }
 }
 
 /// Table I: time of the batched SVD as a function of the standard-plate
@@ -121,18 +124,28 @@ pub fn fig12(scale: Scale) -> Report {
         }
         Scale::Full => wsvd_batched::V100_TLP_THRESHOLD,
     };
-    let auto_cfg =
-        WCycleConfig { tuning: Tuning::Auto { threshold }, ..Default::default() };
+    let auto_cfg = WCycleConfig {
+        tuning: Tuning::Auto { threshold },
+        ..Default::default()
+    };
     // GEMM work per rotation scales with the pair-block row count while the
     // EVD cost does not, so the GEMM-bound regime the paper reaches with
     // 512²..1024² squares is reached at reduced scale with tall matrices.
-    let shapes: &[(usize, usize)] =
-        scale.pick(&[(1024usize, 48usize), (2048, 64)][..], &[(512, 512), (1024, 1024)][..]);
+    let shapes: &[(usize, usize)] = scale.pick(
+        &[(1024usize, 48usize), (2048, 64)][..],
+        &[(512, 512), (1024, 1024)][..],
+    );
     let batches: &[usize] = scale.pick(&[2usize, 8][..], &[10, 100, 500][..]);
     for &(m, n) in shapes {
         for &batch in batches {
             let mats = random_batch(batch, m, n, 7 * n as u64 + batch as u64);
-            let plain = time_with(&mats, &WCycleConfig { tailor_gemm: false, ..auto_cfg.clone() });
+            let plain = time_with(
+                &mats,
+                &WCycleConfig {
+                    tailor_gemm: false,
+                    ..auto_cfg.clone()
+                },
+            );
             let tailored = time_with(&mats, &auto_cfg);
             rep.push_row(vec![
                 format!("{m}x{n}"),
@@ -157,13 +170,25 @@ pub fn tab5(scale: Scale) -> Report {
         "auto-tuning matches the exhaustive optimum (within 12% in the paper)",
     );
     let batch = scale.pick(10, 100);
-    let sizes: Vec<usize> = scale.pick(&[64usize, 96, 160][..], &[64, 256, 1024][..]).to_vec();
-    let fixed: Vec<(String, Box<dyn Fn(usize) -> WCycleConfig>)> = vec![
-        ("δ=32, w=4".into(), Box::new(|_n| fixed_plan_cfg(4, 32, 256))),
+    let sizes: Vec<usize> = scale
+        .pick(&[64usize, 96, 160][..], &[64, 256, 1024][..])
+        .to_vec();
+    type NamedCfg = (String, Box<dyn Fn(usize) -> WCycleConfig>);
+    let fixed: Vec<NamedCfg> = vec![
+        (
+            "δ=32, w=4".into(),
+            Box::new(|_n| fixed_plan_cfg(4, 32, 256)),
+        ),
         ("δ=m, w=4".into(), Box::new(|n| fixed_plan_cfg(4, n, 256))),
-        ("δ=32, w=24".into(), Box::new(|_n| fixed_plan_cfg(24, 32, 256))),
+        (
+            "δ=32, w=24".into(),
+            Box::new(|_n| fixed_plan_cfg(24, 32, 256)),
+        ),
         ("δ=m, w=24".into(), Box::new(|n| fixed_plan_cfg(24, n, 256))),
-        ("δ=32, w=16".into(), Box::new(|_n| fixed_plan_cfg(16, 32, 256))),
+        (
+            "δ=32, w=16".into(),
+            Box::new(|_n| fixed_plan_cfg(16, 32, 256)),
+        ),
     ];
     let mut best: Vec<f64> = vec![f64::INFINITY; sizes.len()];
     let mut all_rows: Vec<Vec<String>> = Vec::new();
@@ -251,7 +276,11 @@ mod tests {
     fn tab5_auto_close_to_best() {
         let rep = tab5(Scale::Reduced);
         let auto = rep.rows.iter().find(|r| r[0] == "auto-tuning").unwrap();
-        let best = rep.rows.iter().find(|r| r[0] == "theoretical optimal").unwrap();
+        let best = rep
+            .rows
+            .iter()
+            .find(|r| r[0] == "theoretical optimal")
+            .unwrap();
         for (a, b) in auto[1..].iter().zip(&best[1..]) {
             assert!(secs(a) <= secs(b) * 1.6, "auto {a} far from best {b}");
         }

@@ -20,10 +20,13 @@ pub mod scale;
 pub use report::Report;
 pub use scale::Scale;
 
+/// An experiment runner: reduced-or-full scale in, rendered report out.
+pub type Experiment = fn(Scale) -> Report;
+
 /// Every experiment in DESIGN.md §4, as `(id, runner)` pairs in paper order.
-pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> Report)> {
+pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("fig1", exp_kernels::fig1 as fn(Scale) -> Report),
+        ("fig1", exp_kernels::fig1 as Experiment),
         ("fig2", exp_kernels::fig2),
         ("tab1", exp_tailoring::tab1),
         ("fig7", exp_baselines::fig7),
@@ -47,5 +50,6 @@ pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> Report)> {
         ("ext-ablation", exp_extensions::ext_ablation),
         ("ext-lowp", exp_extensions::ext_lowp),
         ("ext-profile", exp_extensions::ext_profile),
+        ("ext-trace", exp_extensions::ext_trace),
     ]
 }

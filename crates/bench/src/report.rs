@@ -23,7 +23,13 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report.
-    pub fn new(id: &str, title: &str, scale_note: &str, headers: &[&str], shape_claim: &str) -> Self {
+    pub fn new(
+        id: &str,
+        title: &str,
+        scale_note: &str,
+        headers: &[&str],
+        shape_claim: &str,
+    ) -> Self {
         Self {
             id: id.to_string(),
             title: title.to_string(),
@@ -36,7 +42,12 @@ impl Report {
 
     /// Appends a row.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -81,7 +92,10 @@ impl Report {
     /// behind `repro --check`.
     pub fn diff(&self, baseline: &Report) -> Option<String> {
         if self.headers != baseline.headers {
-            return Some(format!("headers changed: {:?} vs {:?}", self.headers, baseline.headers));
+            return Some(format!(
+                "headers changed: {:?} vs {:?}",
+                self.headers, baseline.headers
+            ));
         }
         if self.rows.len() != baseline.rows.len() {
             return Some(format!(

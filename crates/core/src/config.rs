@@ -83,7 +83,9 @@ impl Default for WCycleConfig {
         Self {
             tol: 1e-12,
             max_sweeps: 40,
-            tuning: Tuning::Auto { threshold: V100_TLP_THRESHOLD },
+            tuning: Tuning::Auto {
+                threshold: V100_TLP_THRESHOLD,
+            },
             alpha: AlphaSelect::Gcf,
             tailor_gemm: true,
             cache_norms: true,

@@ -16,19 +16,19 @@
 //! * Sweeps repeat until all column blocks are mutually orthogonal; each
 //!   converged matrix exits the workflow.
 
+use wsvd_batched::autotune::auto_tune_with_w_cap_traced;
 use wsvd_batched::gemm::{batched_gram, batched_update, GemmStrategy};
 use wsvd_batched::models::TailorPlan;
-use wsvd_batched::autotune::auto_tune_with_w_cap;
 use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError};
 use wsvd_jacobi::batch::{batched_evd_sm, batched_svd_sm};
 use wsvd_jacobi::evd::EvdConfig;
 use wsvd_jacobi::fits::{evd_fits_in_sm, svd_fits_in_sm};
 use wsvd_jacobi::onesided::{JacobiSvd, OneSidedConfig};
 use wsvd_linalg::gemm::dot;
-use wsvd_linalg::verify::columns_converged;
+use wsvd_linalg::verify::{columns_converged, max_column_coherence};
 use wsvd_linalg::Matrix;
 
-use crate::config::{Tuning, WCycleConfig};
+use crate::config::{AlphaSelect, Tuning, WCycleConfig};
 use crate::stats::WCycleStats;
 
 /// The SVD of one input matrix as produced by the W-cycle.
@@ -55,7 +55,11 @@ pub struct WCycleOutput {
 }
 
 /// Runs the W-cycle SVD over a batch of matrices of arbitrary (mixed) sizes.
-pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCycleOutput, KernelError> {
+pub fn wcycle_svd(
+    gpu: &Gpu,
+    mats: &[Matrix],
+    cfg: &WCycleConfig,
+) -> Result<WCycleOutput, KernelError> {
     for (k, a) in mats.iter().enumerate() {
         if !a.is_finite() {
             return Err(KernelError::Other(format!(
@@ -64,8 +68,12 @@ pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCyc
         }
     }
     let smem = gpu.device().smem_per_block_bytes;
-    let mut stats = WCycleStats::default();
-    stats.sweeps_per_matrix = vec![0; mats.len()];
+    let trace = gpu.trace().clone();
+    let traced = trace.is_enabled();
+    let mut stats = WCycleStats {
+        sweeps_per_matrix: vec![0; mats.len()],
+        ..Default::default()
+    };
 
     // Wide inputs are decomposed transposed (§IV-B): fewer rotations per
     // sweep, and the factors swap back at the end. Very tall inputs are
@@ -87,8 +95,7 @@ pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCyc
             .iter()
             .enumerate()
             .filter(|(_, (tall, _, _))| {
-                tall.cols() >= 2
-                    && tall.rows() >= cfg.qr_aspect_threshold.max(2) * tall.cols()
+                tall.cols() >= 2 && tall.rows() >= cfg.qr_aspect_threshold.max(2) * tall.cols()
             })
             .map(|(k, _)| k)
             .collect();
@@ -117,21 +124,40 @@ pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCyc
     if !fit_idx.is_empty() {
         let group: Vec<Matrix> = fit_idx.iter().map(|&k| prepared[k].0.clone()).collect();
         let m_star = group.iter().map(|g| g.rows()).max().unwrap_or(1);
+        let threads_per_pair = cfg.alpha.resolve(m_star);
+        if traced {
+            trace_alpha_plan(
+                gpu,
+                &trace,
+                &cfg.alpha,
+                m_star,
+                group.len(),
+                threads_per_pair,
+            );
+        }
         let one_sided = OneSidedConfig {
             tol: cfg.tol,
-            threads_per_pair: cfg.alpha.resolve(m_star),
+            threads_per_pair,
             cache_norms: cfg.cache_norms,
             accumulate_v: true,
             ordering: cfg.ordering,
+            record_coherence: traced,
             ..Default::default()
         };
+        let t_pre = gpu.elapsed_seconds();
         let (mut svds, _) = batched_svd_sm(gpu, &group, &one_sided, cfg.kernel_threads)?;
+        if traced {
+            trace_level0_sweeps(gpu, &trace, &svds, t_pre, gpu.elapsed_seconds());
+        }
         stats.level0_sm_svds = svds.len();
         let recover: Vec<(usize, Matrix, Matrix)> = fit_idx
             .iter()
             .enumerate()
             .filter_map(|(pos, &k)| {
-                prepared[k].2.as_ref().map(|q| (pos, q.clone(), svds[pos].u.clone()))
+                prepared[k]
+                    .2
+                    .as_ref()
+                    .map(|q| (pos, q.clone(), svds[pos].u.clone()))
             })
             .collect();
         if !recover.is_empty() {
@@ -149,7 +175,10 @@ pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCyc
         let mut tasks: Vec<Matrix> = rest_idx.iter().map(|&k| prepared[k].0.clone()).collect();
         // V is needed when the caller wants it, or to recover U of a
         // transposed (wide) input.
-        let need_v: Vec<bool> = rest_idx.iter().map(|&k| cfg.want_v || prepared[k].1).collect();
+        let need_v: Vec<bool> = rest_idx
+            .iter()
+            .map(|&k| cfg.want_v || prepared[k].1)
+            .collect();
         let outcomes = decompose_level(gpu, &mut tasks, &need_v, 1, 48, cfg, &mut stats)?;
 
         // Final extraction kernel: U = normalize(columns), Σ = column norms.
@@ -170,7 +199,10 @@ pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCyc
             .iter()
             .enumerate()
             .filter_map(|(pos, &k)| {
-                prepared[k].2.as_ref().map(|q| (pos, q.clone(), extracted[pos].0.clone()))
+                prepared[k]
+                    .2
+                    .as_ref()
+                    .map(|q| (pos, q.clone(), extracted[pos].0.clone()))
             })
             .collect();
         if !recover.is_empty() {
@@ -183,7 +215,9 @@ pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCyc
             rest_idx.iter().zip(extracted).zip(outcomes).enumerate()
         {
             let transposed = prepared[k].1;
-            let mut v = outcome.v.map(|v| permute_cols(&v, &sigma_order(&tasks[slot])));
+            let mut v = outcome
+                .v
+                .map(|v| permute_cols(&v, &sigma_order(&tasks[slot])));
             // `u`/`sigma` are already sorted by `extract_u_sigma`.
             let sweeps = outcome.sweeps;
             stats.sweeps_per_matrix[k] = sweeps;
@@ -191,18 +225,99 @@ pub fn wcycle_svd(gpu: &Gpu, mats: &[Matrix], cfg: &WCycleConfig) -> Result<WCyc
                 // A = V_t Σ U_t^T: swap the factors.
                 let v_t = v.take().expect("wide inputs always accumulate V");
                 let r = sigma.len();
-                let v_out =
-                    if cfg.want_v { Some(u) } else { None };
-                WSvd { u: thin(&v_t, r), sigma, v: v_out, sweeps }
+                let v_out = if cfg.want_v { Some(u) } else { None };
+                WSvd {
+                    u: thin(&v_t, r),
+                    sigma,
+                    v: v_out,
+                    sweeps,
+                }
             } else {
-                WSvd { u, sigma, v: if cfg.want_v { v } else { None }, sweeps }
+                WSvd {
+                    u,
+                    sigma,
+                    v: if cfg.want_v { v } else { None },
+                    sweeps,
+                }
             };
             slots[k] = Some(result);
         }
     }
 
-    let results = slots.into_iter().map(|s| s.expect("every input decomposed")).collect();
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every input decomposed"))
+        .collect();
     Ok(WCycleOutput { results, stats })
+}
+
+/// Emits the Level-0 α-warp selection (§IV-B1) as an auto-tuner plan event:
+/// the rule's rejected team widths from [`wsvd_batched::TPP_CANDIDATES`] go
+/// into the event args alongside the chosen one.
+fn trace_alpha_plan(
+    gpu: &Gpu,
+    trace: &wsvd_trace::TraceSink,
+    alpha: &AlphaSelect,
+    m_star: usize,
+    batch: usize,
+    chosen: usize,
+) {
+    let rejected = wsvd_batched::TPP_CANDIDATES
+        .iter()
+        .filter(|&&t| t != chosen)
+        .map(|t| format!("tpp={t}"))
+        .collect::<Vec<_>>()
+        .join("; ");
+    trace.instant(
+        gpu.trace_pid(),
+        "autotune",
+        "plan",
+        gpu.elapsed_seconds(),
+        vec![
+            ("level", 0usize.into()),
+            ("param", "alpha".into()),
+            ("rule", format!("{alpha:?}").into()),
+            ("batch", batch.into()),
+            ("m_star", m_star.into()),
+            ("threads_per_pair", chosen.into()),
+            ("rejected", rejected.into()),
+        ],
+    );
+}
+
+/// Emits per-sweep convergence instants for a Level-0 batched SM SVD launch
+/// from the kernels' recorded coherence histories. The launch spans
+/// `[t_pre, t_post]` in simulated time; sweep `s` of `S` is placed at the
+/// matching fraction of that interval.
+fn trace_level0_sweeps(
+    gpu: &Gpu,
+    trace: &wsvd_trace::TraceSink,
+    svds: &[JacobiSvd],
+    t_pre: f64,
+    t_post: f64,
+) {
+    let s_max = svds.iter().map(|o| o.stats.sweeps).max().unwrap_or(0);
+    for s in 0..s_max {
+        let coherence = svds
+            .iter()
+            .filter_map(|o| o.coherence_per_sweep.get(s))
+            .fold(0.0f64, |acc, &c| acc.max(c));
+        let active = svds.iter().filter(|o| o.stats.sweeps > s + 1).count();
+        let ts = t_pre + (t_post - t_pre) * (s + 1) as f64 / s_max as f64;
+        trace.instant(
+            gpu.trace_pid(),
+            "wcycle",
+            "sweep",
+            ts,
+            vec![
+                ("level", 0usize.into()),
+                ("sweep", (s + 1).into()),
+                ("coherence", coherence.into()),
+                ("active", active.into()),
+                ("matrices", svds.len().into()),
+            ],
+        );
+    }
 }
 
 /// Outcome of decomposing one task at a level: the matrix itself has been
@@ -239,12 +354,17 @@ fn decompose_level(
     // block would retain up-to-`tol` residual coherence internally).
     let inner_tol = (cfg.tol * 1e-2).max(1e-15);
     let sizes: Vec<(usize, usize)> = tasks.iter().map(|t| t.shape()).collect();
-    let plan = resolve_plan(cfg, level, &sizes, w_cap);
+    let plan = resolve_plan(gpu, cfg, level, &sizes, w_cap);
     stats.note_width(level, plan.w);
+    let trace = gpu.trace().clone();
+    let traced = trace.is_enabled();
+    let level_t0 = gpu.elapsed_seconds();
     let strategy = if cfg.tailor_gemm {
         GemmStrategy::Tailored(plan)
     } else {
-        GemmStrategy::OneBlockPerGemm { threads: plan.threads }
+        GemmStrategy::OneBlockPerGemm {
+            threads: plan.threads,
+        }
     };
 
     // Per-task column partition (width w, ragged tail allowed). When
@@ -271,10 +391,12 @@ fn decompose_level(
     let mut sweeps = vec![0usize; tasks.len()];
     let mut active: Vec<bool> = tasks.iter().map(|t| t.cols() >= 2).collect();
 
-    for _ in 0..cfg.max_sweeps {
+    for round in 0..cfg.max_sweeps {
         if !active.iter().any(|&a| a) {
             break;
         }
+        let mut sweep_rotations = 0u64;
+        let (mut sweep_ga, mut sweep_gb, mut sweep_gc) = (0u64, 0u64, 0u64);
         let schedules: Vec<_> = parts
             .iter()
             .zip(&active)
@@ -302,7 +424,13 @@ fn decompose_level(
                 for &(bi, bj) in &sched[step] {
                     let (i_start, i_width) = parts[t][bi];
                     let (j_start, j_width) = parts[t][bj];
-                    refs.push(PairRef { task: t, i_start, i_width, j_start, j_width });
+                    refs.push(PairRef {
+                        task: t,
+                        i_start,
+                        i_width,
+                        j_start,
+                        j_width,
+                    });
                     blocks.push(gather_pair(&tasks[t], i_start, i_width, j_start, j_width));
                 }
             }
@@ -310,6 +438,7 @@ fn decompose_level(
                 continue;
             }
             stats.add_rotations(level, blocks.len() as u64);
+            sweep_rotations += blocks.len() as u64;
 
             // Classify into the three groups of Algorithm 2.
             let mut ga: Vec<usize> = Vec::new();
@@ -325,6 +454,9 @@ fn decompose_level(
                     gc.push(idx);
                 }
             }
+            sweep_ga += ga.len() as u64;
+            sweep_gb += gb.len() as u64;
+            sweep_gc += gc.len() as u64;
 
             let mut rotations: Vec<Option<Matrix>> = (0..blocks.len()).map(|_| None).collect();
 
@@ -354,7 +486,11 @@ fn decompose_level(
             if !gb.is_empty() {
                 let sub: Vec<Matrix> = gb.iter().map(|&i| blocks[i].clone()).collect();
                 let (grams, _) = batched_gram(gpu, &sub, strategy)?;
-                let evd_cfg = EvdConfig { tol: 1e-15, max_sweeps: 30, ..Default::default() };
+                let evd_cfg = EvdConfig {
+                    tol: 1e-15,
+                    max_sweeps: 30,
+                    ..Default::default()
+                };
                 let (evds, _) = batched_evd_sm(gpu, &grams, &evd_cfg, cfg.kernel_threads)?;
                 stats.sm_evd_blocks += gb.len() as u64;
                 for (&i, evd) in gb.iter().zip(evds) {
@@ -367,7 +503,10 @@ fn decompose_level(
                 let mut sub: Vec<Matrix> = gc.iter().map(|&i| blocks[i].clone()).collect();
                 let all_v = vec![true; sub.len()];
                 let next_cap = plan.w.saturating_sub(1).max(1);
-                let sub_cfg = WCycleConfig { tol: inner_tol, ..cfg.clone() };
+                let sub_cfg = WCycleConfig {
+                    tol: inner_tol,
+                    ..cfg.clone()
+                };
                 let outcomes =
                     decompose_level(gpu, &mut sub, &all_v, level + 1, next_cap, &sub_cfg, stats)?;
                 stats.recursed_blocks += gc.len() as u64;
@@ -393,7 +532,10 @@ fn decompose_level(
                 if let Some(v) = vs[r.task].as_ref() {
                     upd_mats.push(gather_pair(v, r.i_start, r.i_width, r.j_start, r.j_width));
                     upd_js.push(
-                        rotations[k].as_ref().expect("rotation computed for every block").clone(),
+                        rotations[k]
+                            .as_ref()
+                            .expect("rotation computed for every block")
+                            .clone(),
                     );
                     upd_meta.push((1, k));
                 }
@@ -420,14 +562,57 @@ fn decompose_level(
         // Schedule-independent convergence test at the sweep boundary (in a
         // real kernel this reduction falls out of the inner products the
         // sweep already computed; it is not charged to the cost model).
+        let mut coherence = 0.0f64;
         for t in 0..tasks.len() {
             if active[t] {
                 sweeps[t] += 1;
+                if traced {
+                    coherence = coherence.max(max_column_coherence(&tasks[t]));
+                }
                 if columns_converged(&tasks[t], cfg.tol) {
                     active[t] = false; // converged: exits the workflow
                 }
             }
         }
+        if traced {
+            trace.instant(
+                gpu.trace_pid(),
+                "wcycle",
+                "sweep",
+                gpu.elapsed_seconds(),
+                vec![
+                    ("level", level.into()),
+                    ("sweep", (round + 1).into()),
+                    ("rotations", sweep_rotations.into()),
+                    ("ga_sm_svd", sweep_ga.into()),
+                    ("gb_gram_evd", sweep_gb.into()),
+                    ("gc_recursed", sweep_gc.into()),
+                    ("coherence", coherence.into()),
+                    ("active", active.iter().filter(|&&a| a).count().into()),
+                ],
+            );
+        }
+    }
+
+    if traced {
+        let now = gpu.elapsed_seconds();
+        trace.span(
+            gpu.trace_pid(),
+            "wcycle",
+            &format!("level {level}"),
+            level_t0,
+            now - level_t0,
+            vec![
+                ("tasks", tasks.len().into()),
+                ("w", plan.w.into()),
+                ("delta", plan.delta.into()),
+                ("threads", plan.threads.into()),
+                (
+                    "max_sweeps_used",
+                    sweeps.iter().copied().max().unwrap_or(0).into(),
+                ),
+            ],
+        );
     }
 
     Ok(vs
@@ -578,7 +763,8 @@ fn scatter_pair(m: &mut Matrix, r: &PairRef, block: &Matrix) {
         m.col_mut(r.i_start + c).copy_from_slice(block.col(c));
     }
     for c in 0..r.j_width {
-        m.col_mut(r.j_start + c).copy_from_slice(block.col(r.i_width + c));
+        m.col_mut(r.j_start + c)
+            .copy_from_slice(block.col(r.i_width + c));
     }
 }
 
@@ -597,10 +783,24 @@ fn rotated_block(svd: &JacobiSvd, shape: (usize, usize)) -> Matrix {
     out
 }
 
-fn resolve_plan(cfg: &WCycleConfig, level: usize, sizes: &[(usize, usize)], w_cap: usize) -> TailorPlan {
+fn resolve_plan(
+    gpu: &Gpu,
+    cfg: &WCycleConfig,
+    level: usize,
+    sizes: &[(usize, usize)],
+    w_cap: usize,
+) -> TailorPlan {
     let m_star = sizes.iter().map(|&(m, _)| m).max().unwrap_or(8);
     match &cfg.tuning {
-        Tuning::Auto { threshold } => auto_tune_with_w_cap(sizes, *threshold, w_cap),
+        Tuning::Auto { threshold } => auto_tune_with_w_cap_traced(
+            sizes,
+            *threshold,
+            w_cap,
+            gpu.trace(),
+            gpu.trace_pid(),
+            level,
+            gpu.elapsed_seconds(),
+        ),
         Tuning::Fixed(p) => TailorPlan::new(p.w.min(w_cap), p.delta, p.threads),
         Tuning::Widths(ws) => {
             let w = *ws.get(level - 1).or_else(|| ws.last()).unwrap_or(&8);
@@ -667,7 +867,12 @@ fn finish_one(svd: JacobiSvd, transposed: bool, want_v: bool) -> WSvd {
             sweeps,
         }
     } else {
-        WSvd { u: svd.u, sigma: svd.sigma, v: want_v.then_some(svd.v), sweeps }
+        WSvd {
+            u: svd.u,
+            sigma: svd.sigma,
+            v: want_v.then_some(svd.v),
+            sweeps,
+        }
     }
 }
 
@@ -750,14 +955,14 @@ mod tests {
     fn known_spectrum_through_levels() {
         let sigma: Vec<f64> = (1..=96).rev().map(|k| k as f64 / 7.0).collect();
         let a = with_spectrum(96, 96, &sigma, 77);
-        let out = run(&[a.clone()], &WCycleConfig::default());
+        let out = run(std::slice::from_ref(&a), &WCycleConfig::default());
         check_svd(&a, &out.results[0], 1e-8);
     }
 
     #[test]
     fn wide_input_swaps_factors() {
         let a = random_uniform(24, 72, 5);
-        let out = run(&[a.clone()], &WCycleConfig::default());
+        let out = run(std::slice::from_ref(&a), &WCycleConfig::default());
         let r = &out.results[0];
         assert_eq!(r.u.shape(), (24, 24));
         assert_eq!(r.v.as_ref().unwrap().rows(), 72);
@@ -767,9 +972,9 @@ mod tests {
     #[test]
     fn mixed_size_batch() {
         let mats = vec![
-            random_uniform(16, 16, 1),  // level 0
+            random_uniform(16, 16, 1),   // level 0
             random_uniform(100, 100, 2), // block path
-            random_uniform(20, 60, 3),  // wide, level 0 after transpose
+            random_uniform(20, 60, 3),   // wide, level 0 after transpose
         ];
         let out = run(&mats, &WCycleConfig::default());
         for (a, r) in mats.iter().zip(&out.results) {
@@ -781,7 +986,10 @@ mod tests {
     #[test]
     fn want_v_false_skips_v() {
         let mats = random_batch(2, 100, 100, 9);
-        let cfg = WCycleConfig { want_v: false, ..Default::default() };
+        let cfg = WCycleConfig {
+            want_v: false,
+            ..Default::default()
+        };
         let out = run(&mats, &cfg);
         for r in &out.results {
             assert!(r.v.is_none());
@@ -812,7 +1020,10 @@ mod tests {
 
     #[test]
     fn fixed_width_schedule_respected() {
-        let cfg = WCycleConfig { tuning: Tuning::Widths(vec![8]), ..Default::default() };
+        let cfg = WCycleConfig {
+            tuning: Tuning::Widths(vec![8]),
+            ..Default::default()
+        };
         let a = random_uniform(64, 64, 13);
         let gpu = Gpu::new(V100);
         let out = wcycle_svd(&gpu, std::slice::from_ref(&a), &cfg).unwrap();
@@ -823,16 +1034,29 @@ mod tests {
     #[test]
     fn untailored_gemm_gives_same_numerics() {
         let a = random_uniform(96, 96, 17);
-        let tailored = run(&[a.clone()], &WCycleConfig::default());
-        let plain = run(&[a.clone()], &WCycleConfig { tailor_gemm: false, ..Default::default() });
-        for (x, y) in tailored.results[0].sigma.iter().zip(&plain.results[0].sigma) {
+        let tailored = run(std::slice::from_ref(&a), &WCycleConfig::default());
+        let plain = run(
+            std::slice::from_ref(&a),
+            &WCycleConfig {
+                tailor_gemm: false,
+                ..Default::default()
+            },
+        );
+        for (x, y) in tailored.results[0]
+            .sigma
+            .iter()
+            .zip(&plain.results[0].sigma)
+        {
             assert!((x - y).abs() < 1e-9);
         }
     }
 
     #[test]
     fn alpha_fixed_works() {
-        let cfg = WCycleConfig { alpha: AlphaSelect::Fixed(32), ..Default::default() };
+        let cfg = WCycleConfig {
+            alpha: AlphaSelect::Fixed(32),
+            ..Default::default()
+        };
         let mats = random_batch(3, 24, 24, 19);
         let out = run(&mats, &cfg);
         for (a, r) in mats.iter().zip(&out.results) {
@@ -850,7 +1074,7 @@ mod tests {
             *x = 50.0 - k as f64;
         }
         let a = with_spectrum(100, 100, &s, 23);
-        let out = run(&[a.clone()], &WCycleConfig::default());
+        let out = run(std::slice::from_ref(&a), &WCycleConfig::default());
         let got = &out.results[0].sigma;
         for (g, w) in got.iter().zip(&s) {
             assert!((g - w).abs() < 1e-7 * (1.0 + w), "{g} vs {w}");
@@ -863,10 +1087,13 @@ mod tests {
         // A very tall matrix: with preconditioning the Jacobi workflow runs
         // on the 24x24 R instead of 300x24 columns.
         let a = random_uniform(300, 24, 37);
-        let plain = run(&[a.clone()], &WCycleConfig::default());
+        let plain = run(std::slice::from_ref(&a), &WCycleConfig::default());
         let pre = run(
-            &[a.clone()],
-            &WCycleConfig { qr_precondition: true, ..Default::default() },
+            std::slice::from_ref(&a),
+            &WCycleConfig {
+                qr_precondition: true,
+                ..Default::default()
+            },
         );
         check_svd(&a, &pre.results[0], 1e-8);
         for (x, y) in plain.results[0].sigma.iter().zip(&pre.results[0].sigma) {
@@ -881,12 +1108,18 @@ mod tests {
         let mats = random_batch(4, 2048, 64, 39);
         let time = |flag: bool| {
             let gpu = Gpu::new(V100);
-            let cfg = WCycleConfig { qr_precondition: flag, ..Default::default() };
+            let cfg = WCycleConfig {
+                qr_precondition: flag,
+                ..Default::default()
+            };
             wcycle_svd(&gpu, &mats, &cfg).unwrap();
             gpu.elapsed_seconds()
         };
         let (plain, pre) = (time(false), time(true));
-        assert!(pre < plain, "QR preconditioning should pay off: {pre} !< {plain}");
+        assert!(
+            pre < plain,
+            "QR preconditioning should pay off: {pre} !< {plain}"
+        );
     }
 
     #[test]
@@ -895,8 +1128,11 @@ mod tests {
         // the Householder fallback must still deliver a correct SVD.
         let a = wsvd_linalg::generate::with_condition_number(200, 24, 1e10, 43);
         let out = run(
-            &[a.clone()],
-            &WCycleConfig { qr_precondition: true, ..Default::default() },
+            std::slice::from_ref(&a),
+            &WCycleConfig {
+                qr_precondition: true,
+                ..Default::default()
+            },
         );
         let want = wsvd_linalg::singular_values(&a).unwrap();
         // The dominant half of the spectrum must hold to high relative
@@ -912,7 +1148,10 @@ mod tests {
         let mats = random_batch(2, 80, 60, 41);
         let run_t = |flag: bool| {
             let gpu = Gpu::new(V100);
-            let cfg = WCycleConfig { qr_precondition: flag, ..Default::default() };
+            let cfg = WCycleConfig {
+                qr_precondition: flag,
+                ..Default::default()
+            };
             wcycle_svd(&gpu, &mats, &cfg).unwrap();
             (gpu.elapsed_seconds(), gpu.timeline().launches)
         };
@@ -922,11 +1161,20 @@ mod tests {
     #[test]
     fn dynamic_ordering_converges_to_same_spectrum() {
         let a = random_uniform(90, 90, 41);
-        let static_out = run(&[a.clone()], &WCycleConfig::default());
-        let dynamic_out =
-            run(&[a.clone()], &WCycleConfig { dynamic_ordering: true, ..Default::default() });
+        let static_out = run(std::slice::from_ref(&a), &WCycleConfig::default());
+        let dynamic_out = run(
+            std::slice::from_ref(&a),
+            &WCycleConfig {
+                dynamic_ordering: true,
+                ..Default::default()
+            },
+        );
         check_svd(&a, &dynamic_out.results[0], 1e-8);
-        for (s, d) in static_out.results[0].sigma.iter().zip(&dynamic_out.results[0].sigma) {
+        for (s, d) in static_out.results[0]
+            .sigma
+            .iter()
+            .zip(&dynamic_out.results[0].sigma)
+        {
             assert!((s - d).abs() < 1e-8 * (1.0 + s));
         }
         // Dynamic ordering must not need more sweeps than round-robin.
@@ -957,6 +1205,147 @@ mod tests {
         a[(3, 3)] = f64::NAN;
         let err = wcycle_svd(&gpu, std::slice::from_ref(&a), &WCycleConfig::default());
         assert!(err.is_err(), "NaN input must be rejected");
+    }
+
+    #[test]
+    fn traced_run_emits_level_spans_sweeps_and_autotune_plans() {
+        use wsvd_trace::{ArgValue, EventKind, TraceSink};
+
+        let sink = TraceSink::enabled();
+        let gpu = Gpu::with_trace(V100, sink.clone());
+        let mats = random_batch(2, 100, 100, 2);
+        wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+        let evs = sink.events();
+
+        let arg = |ev: &wsvd_trace::Event, key: &str| -> ArgValue {
+            ev.args
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+
+        // The auto-tuner documented its choice (with rejected scores) before
+        // any rotation of the level ran.
+        let plan = evs
+            .iter()
+            .find(|e| e.track == "autotune" && e.name == "plan")
+            .expect("plan-selection event");
+        assert_eq!(arg(plan, "level"), ArgValue::U64(1));
+        assert!(matches!(arg(plan, "rejected"), ArgValue::Str(_)));
+
+        // Per-sweep instants carry the convergence telemetry; the run ends
+        // with no active matrices and the coherence collapsed.
+        let sweeps: Vec<_> = evs
+            .iter()
+            .filter(|e| e.track == "wcycle" && e.name == "sweep")
+            .collect();
+        assert!(
+            sweeps.len() >= 2,
+            "expected multiple sweeps, got {}",
+            sweeps.len()
+        );
+        let coh = |e: &wsvd_trace::Event| match arg(e, "coherence") {
+            ArgValue::F64(x) => x,
+            other => panic!("coherence not F64: {other:?}"),
+        };
+        assert!(
+            coh(sweeps[0]) > 1e-3,
+            "first sweep should still be incoherent"
+        );
+        assert!(
+            coh(sweeps.last().unwrap()) < 1e-9,
+            "final sweep must be converged"
+        );
+        assert_eq!(arg(sweeps.last().unwrap(), "active"), ArgValue::U64(0));
+        let rotations: u64 = sweeps
+            .iter()
+            .map(|e| match arg(e, "rotations") {
+                ArgValue::U64(r) => r,
+                other => panic!("rotations not U64: {other:?}"),
+            })
+            .sum();
+        assert!(rotations > 0);
+
+        // The level-1 recursion span covers every sweep instant.
+        let level = evs
+            .iter()
+            .find(|e| e.track == "wcycle" && e.name == "level 1")
+            .expect("level span");
+        let EventKind::Span { start, dur } = level.kind else {
+            panic!("not a span")
+        };
+        assert!(dur > 0.0);
+        for s in &sweeps {
+            let EventKind::Instant { ts } = s.kind else {
+                panic!("not an instant")
+            };
+            assert!(ts >= start && ts <= start + dur + 1e-15);
+        }
+    }
+
+    #[test]
+    fn traced_level0_batch_reports_alpha_plan_and_kernel_sweeps() {
+        use wsvd_trace::{ArgValue, EventKind, TraceSink};
+
+        let sink = TraceSink::enabled();
+        let gpu = Gpu::with_trace(V100, sink.clone());
+        let mats = random_batch(5, 16, 16, 1);
+        wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+        let evs = sink.events();
+        let arg = |ev: &wsvd_trace::Event, key: &str| -> ArgValue {
+            ev.args
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+
+        // The α-warp rule is recorded as the Level-0 plan selection:
+        // gcd(16, 32) = 16 threads per pair, with the other widths rejected.
+        let plan = evs
+            .iter()
+            .find(|e| e.track == "autotune" && e.name == "plan")
+            .expect("alpha plan event");
+        assert_eq!(arg(plan, "level"), ArgValue::U64(0));
+        assert_eq!(arg(plan, "param"), ArgValue::Str("alpha".into()));
+        assert_eq!(arg(plan, "threads_per_pair"), ArgValue::U64(16));
+        assert_eq!(
+            arg(plan, "rejected"),
+            ArgValue::Str("tpp=4; tpp=8; tpp=32".into())
+        );
+
+        // Per-sweep instants from inside the SM kernel, timestamped within
+        // the launch interval and ending converged.
+        let sweeps: Vec<_> = evs
+            .iter()
+            .filter(|e| {
+                e.track == "wcycle" && e.name == "sweep" && arg(e, "level") == ArgValue::U64(0)
+            })
+            .collect();
+        assert!(!sweeps.is_empty(), "level-0 kernel sweeps must be traced");
+        let end = gpu.elapsed_seconds();
+        let mut prev = 0.0;
+        for s in &sweeps {
+            let EventKind::Instant { ts } = s.kind else {
+                panic!("not an instant")
+            };
+            assert!(ts >= prev && ts <= end, "ts {ts} outside [{prev}, {end}]");
+            prev = ts;
+        }
+        match arg(sweeps.last().unwrap(), "coherence") {
+            ArgValue::F64(c) => assert!(c < 1e-9, "final coherence {c} not converged"),
+            other => panic!("coherence not F64: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untraced_run_emits_no_events() {
+        let sink = wsvd_trace::TraceSink::disabled();
+        let gpu = Gpu::with_trace(V100, sink.clone());
+        let mats = random_batch(1, 100, 100, 2);
+        wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+        assert!(sink.events().is_empty());
     }
 
     #[test]

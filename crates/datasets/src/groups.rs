@@ -24,9 +24,18 @@ pub struct SizeGroup {
 pub const TABLE_VI: [SizeGroup; 5] = [
     SizeGroup { cap: 32, batch: 46 },
     SizeGroup { cap: 64, batch: 85 },
-    SizeGroup { cap: 128, batch: 156 },
-    SizeGroup { cap: 256, batch: 243 },
-    SizeGroup { cap: 512, batch: 458 },
+    SizeGroup {
+        cap: 128,
+        batch: 156,
+    },
+    SizeGroup {
+        cap: 256,
+        batch: 243,
+    },
+    SizeGroup {
+        cap: 512,
+        batch: 458,
+    },
 ];
 
 impl SizeGroup {

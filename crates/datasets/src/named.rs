@@ -24,11 +24,36 @@ pub struct NamedMatrix {
 
 /// The five matrices of Table VII.
 pub const TABLE_VII: [NamedMatrix; 5] = [
-    NamedMatrix { name: "ash331", m: 331, n: 104, cond: 3.10e0 },
-    NamedMatrix { name: "impcol_d", m: 425, n: 425, cond: 2.06e3 },
-    NamedMatrix { name: "tols340", m: 340, n: 340, cond: 2.03e5 },
-    NamedMatrix { name: "robot24c1_mat5", m: 404, n: 302, cond: 3.33e11 },
-    NamedMatrix { name: "flower_7_1", m: 463, n: 393, cond: 8.08e15 },
+    NamedMatrix {
+        name: "ash331",
+        m: 331,
+        n: 104,
+        cond: 3.10e0,
+    },
+    NamedMatrix {
+        name: "impcol_d",
+        m: 425,
+        n: 425,
+        cond: 2.06e3,
+    },
+    NamedMatrix {
+        name: "tols340",
+        m: 340,
+        n: 340,
+        cond: 2.03e5,
+    },
+    NamedMatrix {
+        name: "robot24c1_mat5",
+        m: 404,
+        n: 302,
+        cond: 3.33e11,
+    },
+    NamedMatrix {
+        name: "flower_7_1",
+        m: 463,
+        n: 393,
+        cond: 8.08e15,
+    },
 ];
 
 impl NamedMatrix {
@@ -54,7 +79,9 @@ pub fn by_name(name: &str) -> Option<NamedMatrix> {
 }
 
 fn seed_of(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! independently (makespan = slowest shard), and every collective step pays
 //! a latency + bandwidth synchronization cost.
 
+use wsvd_trace::TraceSink;
+
 use crate::device::DeviceSpec;
 use crate::launch::Gpu;
 
@@ -17,18 +19,37 @@ pub struct GpuCluster {
     /// Interconnect bandwidth in bytes/second (per link).
     pub link_bandwidth: f64,
     sync_seconds: std::sync::atomic::AtomicU64,
+    trace: TraceSink,
+    trace_pid: u32,
 }
 
 impl GpuCluster {
     /// Creates `count` devices of the same spec with default interconnect
     /// parameters (25 GB/s links, 30 µs collective latency — IB-class).
+    /// Picks up the process-wide trace sink, labeling each rank's tracks.
     pub fn new(device: DeviceSpec, count: usize) -> Self {
+        Self::with_trace(device, count, wsvd_trace::global())
+    }
+
+    /// Like [`GpuCluster::new`] with an explicit trace sink.
+    pub fn with_trace(device: DeviceSpec, count: usize, trace: TraceSink) -> Self {
         assert!(count > 0, "a cluster needs at least one device");
+        let trace_pid = trace.register_process("cluster interconnect");
         Self {
-            gpus: (0..count).map(|_| Gpu::new(device)).collect(),
+            gpus: (0..count)
+                .map(|r| {
+                    Gpu::with_trace_named(
+                        device,
+                        trace.clone(),
+                        &format!("{} rank {r}", device.name),
+                    )
+                })
+                .collect(),
             sync_latency: 30e-6,
             link_bandwidth: 25e9,
             sync_seconds: std::sync::atomic::AtomicU64::new(0),
+            trace,
+            trace_pid,
         }
     }
 
@@ -68,7 +89,18 @@ impl GpuCluster {
     pub fn sync(&self, bytes: u64) {
         let secs = self.sync_latency + bytes as f64 / self.link_bandwidth;
         let bits = f64::to_bits(self.elapsed_sync_seconds() + secs);
-        self.sync_seconds.store(bits, std::sync::atomic::Ordering::Relaxed);
+        self.sync_seconds
+            .store(bits, std::sync::atomic::Ordering::Relaxed);
+        if self.trace.is_enabled() {
+            self.trace.span(
+                self.trace_pid,
+                "collectives",
+                "sync",
+                self.elapsed_seconds() - secs,
+                secs,
+                vec![("bytes", bytes.into())],
+            );
+        }
     }
 
     /// Total time spent in collectives.
@@ -78,8 +110,11 @@ impl GpuCluster {
 
     /// Data-parallel makespan: slowest device plus the collectives.
     pub fn elapsed_seconds(&self) -> f64 {
-        let slowest =
-            self.gpus.iter().map(|g| g.elapsed_seconds()).fold(0.0f64, f64::max);
+        let slowest = self
+            .gpus
+            .iter()
+            .map(|g| g.elapsed_seconds())
+            .fold(0.0f64, f64::max);
         slowest + self.elapsed_sync_seconds()
     }
 
@@ -106,7 +141,10 @@ mod tests {
     fn shard_balances_counts() {
         let c = GpuCluster::new(VEGA20, 3);
         let shards = c.shard(&(0..10).collect::<Vec<_>>());
-        assert_eq!(shards.iter().map(|s| s.len()).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(
+            shards.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
         let flat: Vec<i32> = shards.concat();
         assert_eq!(flat, (0..10).collect::<Vec<_>>());
     }
@@ -153,5 +191,30 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         let _ = GpuCluster::new(VEGA20, 0);
+    }
+
+    #[test]
+    fn traced_cluster_labels_ranks_and_records_syncs() {
+        let sink = wsvd_trace::TraceSink::enabled();
+        let c = GpuCluster::with_trace(VEGA20, 2, sink.clone());
+        let names: Vec<String> = sink.processes().into_iter().map(|(_, n)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cluster interconnect",
+                "AMD Vega20 rank 0",
+                "AMD Vega20 rank 1"
+            ]
+        );
+        c.sync(25_000_000);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].track, "collectives");
+        match evs[0].kind {
+            wsvd_trace::EventKind::Span { dur, .. } => {
+                assert!((dur - (30e-6 + 25e6 / 25e9)).abs() < 1e-12)
+            }
+            ref other => panic!("expected span, got {other:?}"),
+        }
     }
 }

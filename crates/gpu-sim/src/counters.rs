@@ -95,18 +95,31 @@ impl Timeline {
     }
 
     /// Difference of two timelines (`self` later than `earlier`), for
-    /// measuring a region of interest.
+    /// measuring a region of interest. Counter fields saturate at zero so an
+    /// out-of-order pair of snapshots yields an empty region rather than a
+    /// wrapped-around u64.
     pub fn since(&self, earlier: &Timeline) -> Timeline {
         Timeline {
             seconds: self.seconds - earlier.seconds,
-            launches: self.launches - earlier.launches,
+            launches: self.launches.saturating_sub(earlier.launches),
             totals: BlockCounters {
-                flops: self.totals.flops - earlier.totals.flops,
-                gm_load_bytes: self.totals.gm_load_bytes - earlier.totals.gm_load_bytes,
-                gm_store_bytes: self.totals.gm_store_bytes - earlier.totals.gm_store_bytes,
-                gm_transactions: self.totals.gm_transactions - earlier.totals.gm_transactions,
-                smem_traffic_bytes: self.totals.smem_traffic_bytes
-                    - earlier.totals.smem_traffic_bytes,
+                flops: self.totals.flops.saturating_sub(earlier.totals.flops),
+                gm_load_bytes: self
+                    .totals
+                    .gm_load_bytes
+                    .saturating_sub(earlier.totals.gm_load_bytes),
+                gm_store_bytes: self
+                    .totals
+                    .gm_store_bytes
+                    .saturating_sub(earlier.totals.gm_store_bytes),
+                gm_transactions: self
+                    .totals
+                    .gm_transactions
+                    .saturating_sub(earlier.totals.gm_transactions),
+                smem_traffic_bytes: self
+                    .totals
+                    .smem_traffic_bytes
+                    .saturating_sub(earlier.totals.smem_traffic_bytes),
                 span_cycles: self.totals.span_cycles - earlier.totals.span_cycles,
             },
             occupancy_weighted: self.occupancy_weighted - earlier.occupancy_weighted,
@@ -120,8 +133,16 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = BlockCounters { flops: 1, gm_load_bytes: 2, ..Default::default() };
-        let b = BlockCounters { flops: 10, gm_store_bytes: 5, ..Default::default() };
+        let mut a = BlockCounters {
+            flops: 1,
+            gm_load_bytes: 2,
+            ..Default::default()
+        };
+        let b = BlockCounters {
+            flops: 10,
+            gm_store_bytes: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.flops, 11);
         assert_eq!(a.gm_bytes(), 7);
@@ -135,7 +156,10 @@ mod tests {
             kernel_seconds: 1.0,
             overhead_seconds: 0.5,
             occupancy: 0.5,
-            totals: BlockCounters { flops: 100, ..Default::default() },
+            totals: BlockCounters {
+                flops: 100,
+                ..Default::default()
+            },
             ..Default::default()
         };
         t.record(&s);
@@ -152,5 +176,25 @@ mod tests {
     #[test]
     fn empty_timeline_occupancy_zero() {
         assert_eq!(Timeline::default().mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn since_saturates_on_out_of_order_snapshots() {
+        let mut later = Timeline::default();
+        later.record(&LaunchStats {
+            grid: 1,
+            kernel_seconds: 1.0,
+            totals: BlockCounters {
+                flops: 10,
+                gm_load_bytes: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        // Swapped arguments: "earlier" actually has more recorded than self.
+        let d = Timeline::default().since(&later);
+        assert_eq!(d.launches, 0);
+        assert_eq!(d.totals.flops, 0);
+        assert_eq!(d.totals.gm_load_bytes, 0);
     }
 }

@@ -61,11 +61,10 @@ impl DeviceSpec {
         } else {
             self.max_threads_per_sm / threads_per_block.max(1)
         };
-        let by_smem = if smem_bytes == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.smem_per_sm_bytes / smem_bytes
-        };
+        let by_smem = self
+            .smem_per_sm_bytes
+            .checked_div(smem_bytes)
+            .unwrap_or(self.max_blocks_per_sm);
         let per_sm = self.max_blocks_per_sm.min(by_threads).min(by_smem).max(1);
         per_sm * self.num_sms
     }
@@ -142,7 +141,7 @@ pub const TITAN_X: DeviceSpec = DeviceSpec {
     smem_per_sm_bytes: 96 * 1024,
     warp_size: 32,
     clock_ghz: 1.0,
-    fp64_lanes_per_sm: 4, // 1/32 FP64 rate of Maxwell
+    fp64_lanes_per_sm: 4,      // 1/32 FP64 rate of Maxwell
     gm_bytes_per_cycle: 336.0, // ~336 GB/s
     load_width: 4,
     launch_overhead_us: 6.0,
@@ -212,8 +211,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // spec test of the device table
     fn a100_has_tensor_speedup() {
-        assert!(A100.tensor_gemm_speedup > 1.0);
+        assert!(A100.tensor_gemm_speedup > V100.tensor_gemm_speedup);
         assert_eq!(V100.tensor_gemm_speedup, 1.0);
     }
 

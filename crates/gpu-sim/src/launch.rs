@@ -8,11 +8,12 @@
 //! simulated kernel time. Wall-clock never enters the model, so results are
 //! deterministic and machine-independent.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use wsvd_trace::TraceSink;
 
 use crate::counters::{BlockCounters, LaunchStats, Timeline};
 use crate::device::DeviceSpec;
@@ -21,6 +22,11 @@ use crate::smem::{SharedMem, SmemBuf, SmemOverflow};
 
 /// Per-block fixed cost (scheduling, prologue/epilogue), in cycles.
 const BLOCK_OVERHEAD_CYCLES: f64 = 200.0;
+
+/// Upper bound on per-SM-slot lanes emitted into a trace. Wide launches can
+/// occupy thousands of slots; tracing every one would swamp the viewer, so
+/// placements beyond this many slots are aggregated into the kernel span.
+const MAX_TRACED_SLOTS: usize = 32;
 
 /// Error raised by a simulated kernel block.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,8 +72,19 @@ pub struct KernelConfig {
 
 impl KernelConfig {
     /// Convenience constructor with no tensor cores.
-    pub fn new(grid: usize, threads_per_block: usize, smem_bytes_per_block: usize, label: &'static str) -> Self {
-        Self { grid, threads_per_block, smem_bytes_per_block, uses_tensor_cores: false, label }
+    pub fn new(
+        grid: usize,
+        threads_per_block: usize,
+        smem_bytes_per_block: usize,
+        label: &'static str,
+    ) -> Self {
+        Self {
+            grid,
+            threads_per_block,
+            smem_bytes_per_block,
+            uses_tensor_cores: false,
+            label,
+        }
     }
 }
 
@@ -199,16 +216,46 @@ pub struct Gpu {
     device: DeviceSpec,
     timeline: Mutex<Timeline>,
     profiler: Mutex<Profiler>,
+    trace: TraceSink,
+    trace_pid: u32,
 }
 
 impl Gpu {
-    /// Creates a fresh GPU with an empty timeline.
+    /// Creates a fresh GPU with an empty timeline. Picks up the process-wide
+    /// trace sink (`wsvd_trace::global()`), which is disabled unless the
+    /// host installed one — so by default launches pay only an `Option`
+    /// check for tracing.
     pub fn new(device: DeviceSpec) -> Self {
+        Self::with_trace(device, wsvd_trace::global())
+    }
+
+    /// Creates a fresh GPU recording into an explicit trace sink.
+    pub fn with_trace(device: DeviceSpec, trace: TraceSink) -> Self {
+        let name = device.name;
+        Self::with_trace_named(device, trace, name)
+    }
+
+    /// Like [`Gpu::with_trace`], with an explicit trace process name (used
+    /// by [`crate::GpuCluster`] to label ranks).
+    pub fn with_trace_named(device: DeviceSpec, trace: TraceSink, name: &str) -> Self {
+        let trace_pid = trace.register_process(name);
         Self {
             device,
             timeline: Mutex::new(Timeline::default()),
             profiler: Mutex::new(Profiler::new()),
+            trace,
+            trace_pid,
         }
+    }
+
+    /// The trace sink this GPU records into (disabled by default).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The trace process id for this GPU's tracks (0 when tracing is off).
+    pub fn trace_pid(&self) -> u32 {
+        self.trace_pid
     }
 
     /// Snapshot of the per-kernel-label profile (the §V-B nvprof view).
@@ -246,12 +293,21 @@ impl Gpu {
     /// Launches a kernel whose blocks each mutate one item of `items`
     /// (`cfg.grid` must equal `items.len()`), the dominant pattern for
     /// batched kernels (one matrix per block).
-    pub fn launch_over<T, F>(&self, cfg: KernelConfig, items: &mut [T], f: F) -> Result<LaunchStats, KernelError>
+    pub fn launch_over<T, F>(
+        &self,
+        cfg: KernelConfig,
+        items: &mut [T],
+        f: F,
+    ) -> Result<LaunchStats, KernelError>
     where
         T: Send,
         F: Fn(usize, &mut T, &mut BlockCtx) -> Result<(), KernelError> + Sync,
     {
-        assert_eq!(cfg.grid, items.len(), "grid must match item count in launch_over");
+        assert_eq!(
+            cfg.grid,
+            items.len(),
+            "grid must match item count in launch_over"
+        );
         self.check_cfg(&cfg);
         let results: Vec<Result<BlockCounters, KernelError>> = items
             .par_iter_mut()
@@ -267,7 +323,11 @@ impl Gpu {
 
     /// Launches a kernel whose blocks produce values (inputs captured by the
     /// closure); returns the per-block outputs in grid order.
-    pub fn launch_collect<R, F>(&self, cfg: KernelConfig, f: F) -> Result<(Vec<R>, LaunchStats), KernelError>
+    pub fn launch_collect<R, F>(
+        &self,
+        cfg: KernelConfig,
+        f: F,
+    ) -> Result<(Vec<R>, LaunchStats), KernelError>
     where
         R: Send,
         F: Fn(usize, &mut BlockCtx) -> Result<R, KernelError> + Sync,
@@ -301,7 +361,11 @@ impl Gpu {
             self.device.name,
             self.device.smem_per_block_bytes,
         );
-        assert!(cfg.threads_per_block > 0, "kernel '{}' has zero threads", cfg.label);
+        assert!(
+            cfg.threads_per_block > 0,
+            "kernel '{}' has zero threads",
+            cfg.label
+        );
     }
 
     /// Converts per-block counters into simulated time and records the launch.
@@ -342,8 +406,18 @@ impl Gpu {
             })
             .collect();
 
-        // List-schedule the blocks onto the resident slots.
-        let kernel_cycles = list_schedule(&durations, concurrent);
+        // List-schedule the blocks onto the resident slots. The traced path
+        // uses the placement-returning variant (same makespan, see tests).
+        let placements = if self.trace.is_enabled() {
+            let (makespan, placements) = list_schedule_placements(&durations, concurrent);
+            Some((makespan, placements))
+        } else {
+            None
+        };
+        let kernel_cycles = match &placements {
+            Some((makespan, _)) => *makespan,
+            None => list_schedule(&durations, concurrent),
+        };
         let kernel_seconds = kernel_cycles / (d.clock_ghz * 1e9);
         let overhead_seconds = d.launch_overhead_us * 1e-6;
 
@@ -360,9 +434,70 @@ impl Gpu {
             overhead_seconds,
             occupancy: d.occupancy(cfg.grid, cfg.threads_per_block, cfg.smem_bytes_per_block),
         };
+        if let Some((_, placements)) = placements {
+            self.trace_launch(&cfg, &stats, &placements);
+        }
         self.timeline.lock().record(&stats);
         self.profiler.lock().record(cfg.label, &stats);
         Ok(stats)
+    }
+
+    /// Emits the launch's trace events: one kernel span, per-SM-slot block
+    /// placements (first [`MAX_TRACED_SLOTS`] slots), and counter samples.
+    /// Called before the timeline records the launch, so the snapshot of
+    /// `timeline.seconds` is the launch's start time.
+    fn trace_launch(&self, cfg: &KernelConfig, stats: &LaunchStats, placements: &[BlockPlacement]) {
+        let pid = self.trace_pid;
+        let t0 = self.timeline.lock().seconds;
+        let kernel_start = t0 + stats.overhead_seconds;
+        self.trace.span(
+            pid,
+            "kernels",
+            cfg.label,
+            kernel_start,
+            stats.kernel_seconds,
+            vec![
+                ("grid", cfg.grid.into()),
+                ("threads_per_block", cfg.threads_per_block.into()),
+                ("smem_bytes_per_block", cfg.smem_bytes_per_block.into()),
+                ("occupancy", stats.occupancy.into()),
+                ("flops", stats.totals.flops.into()),
+                ("gm_bytes", stats.totals.gm_bytes().into()),
+                ("smem_traffic_bytes", stats.totals.smem_traffic_bytes.into()),
+                ("launch_overhead_s", stats.overhead_seconds.into()),
+            ],
+        );
+        let cycle_seconds = 1.0 / (self.device.clock_ghz * 1e9);
+        for p in placements {
+            if p.slot >= MAX_TRACED_SLOTS {
+                continue;
+            }
+            let track = format!("sm-slot {:02}", p.slot);
+            self.trace.span(
+                pid,
+                &track,
+                cfg.label,
+                kernel_start + p.start * cycle_seconds,
+                (p.end - p.start) * cycle_seconds,
+                vec![("block", p.block.into())],
+            );
+        }
+        self.trace
+            .counter(pid, "occupancy", "occupancy", kernel_start, stats.occupancy);
+        self.trace.counter(
+            pid,
+            "gm_bytes",
+            "gm_bytes",
+            kernel_start,
+            stats.totals.gm_bytes() as f64,
+        );
+        self.trace.counter(
+            pid,
+            "smem_bytes_per_block",
+            "smem_bytes_per_block",
+            kernel_start,
+            cfg.smem_bytes_per_block as f64,
+        );
     }
 }
 
@@ -377,7 +512,8 @@ fn list_schedule(durations: &[f64], slots: usize) -> f64 {
         return durations.iter().fold(0.0f64, |m, &d| m.max(d));
     }
     // Min-heap of slot end times, keyed by ordered bits of the f64.
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..slots).map(|i| Reverse((0u64, i))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..slots).map(|i| Reverse((0u64, i))).collect();
     let mut ends = vec![0.0f64; slots];
     for &d in durations {
         let Reverse((_, slot)) = heap.pop().expect("heap never empty");
@@ -385,6 +521,63 @@ fn list_schedule(durations: &[f64], slots: usize) -> f64 {
         heap.push(Reverse((ends[slot].to_bits(), slot)));
     }
     ends.iter().fold(0.0f64, |m, &e| m.max(e))
+}
+
+/// Where one block landed in the list schedule (times in cycles, relative
+/// to kernel start).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockPlacement {
+    /// Grid index of the block.
+    pub block: usize,
+    /// Execution slot the block ran on.
+    pub slot: usize,
+    /// Cycle at which the block started.
+    pub start: f64,
+    /// Cycle at which the block finished.
+    pub end: f64,
+}
+
+/// The same schedule as [`list_schedule`], additionally returning each
+/// block's `(slot, start, end)` placement for trace export. Kept separate so
+/// the untraced hot path allocates nothing extra; an invariant test pins the
+/// two to the same makespan.
+fn list_schedule_placements(durations: &[f64], slots: usize) -> (f64, Vec<BlockPlacement>) {
+    if durations.is_empty() {
+        return (0.0, Vec::new());
+    }
+    let slots = slots.max(1);
+    if slots >= durations.len() {
+        let placements: Vec<BlockPlacement> = durations
+            .iter()
+            .enumerate()
+            .map(|(b, &d)| BlockPlacement {
+                block: b,
+                slot: b,
+                start: 0.0,
+                end: d,
+            })
+            .collect();
+        let makespan = durations.iter().fold(0.0f64, |m, &d| m.max(d));
+        return (makespan, placements);
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..slots).map(|i| Reverse((0u64, i))).collect();
+    let mut ends = vec![0.0f64; slots];
+    let mut placements = Vec::with_capacity(durations.len());
+    for (b, &d) in durations.iter().enumerate() {
+        let Reverse((_, slot)) = heap.pop().expect("heap never empty");
+        let start = ends[slot];
+        ends[slot] += d;
+        placements.push(BlockPlacement {
+            block: b,
+            slot,
+            start,
+            end: ends[slot],
+        });
+        heap.push(Reverse((ends[slot].to_bits(), slot)));
+    }
+    let makespan = ends.iter().fold(0.0f64, |m, &e| m.max(e));
+    (makespan, placements)
 }
 
 #[cfg(test)]
@@ -407,6 +600,88 @@ mod tests {
         // 4,3,3 on 2 slots -> {4, 3+3} -> 6 or {4+3, 3}=7 depending on order;
         // earliest-free: 4->s0, 3->s1, 3->s1(end 3)->6. Makespan 6.
         assert_eq!(list_schedule(&[4.0, 3.0, 3.0], 2), 6.0);
+    }
+
+    #[test]
+    fn placement_schedule_matches_plain_makespan() {
+        // Pseudo-random durations over several slot counts: both scheduler
+        // variants must agree exactly, and placements must tile each slot.
+        let durations: Vec<f64> = (0..97)
+            .map(|k| 1.0 + ((k * 2654435761u64 as usize) % 97) as f64 / 7.0)
+            .collect();
+        for slots in [1, 2, 7, 32, 96, 200] {
+            let plain = list_schedule(&durations, slots);
+            let (makespan, placements) = list_schedule_placements(&durations, slots);
+            assert_eq!(plain.to_bits(), makespan.to_bits(), "slots={slots}");
+            assert_eq!(placements.len(), durations.len());
+            // Within a slot, blocks must be back-to-back and non-overlapping.
+            let mut per_slot: std::collections::BTreeMap<usize, Vec<&BlockPlacement>> =
+                Default::default();
+            for p in &placements {
+                assert!(p.end <= makespan + 1e-9);
+                per_slot.entry(p.slot).or_default().push(p);
+            }
+            for (_, ps) in per_slot {
+                let mut t = 0.0;
+                for p in ps {
+                    assert!(p.start >= t - 1e-12);
+                    assert!(p.end >= p.start);
+                    t = p.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_launch_emits_kernel_span_and_counters() {
+        let sink = wsvd_trace::TraceSink::enabled();
+        let gpu = Gpu::with_trace(V100, sink.clone());
+        let mut data = vec![0.0f64; 4];
+        let cfg = KernelConfig::new(4, 64, 1024, "traced-kernel");
+        let stats = gpu
+            .launch_over(cfg, &mut data, |_, _, ctx| {
+                ctx.par_step(64, 2);
+                Ok(())
+            })
+            .unwrap();
+        let events = sink.events();
+        let kernel_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.track == "kernels" && e.name == "traced-kernel")
+            .collect();
+        assert_eq!(kernel_spans.len(), 1);
+        match kernel_spans[0].kind {
+            wsvd_trace::EventKind::Span { start, dur } => {
+                assert!((start - stats.overhead_seconds).abs() < 1e-15);
+                assert!((dur - stats.kernel_seconds).abs() < 1e-15);
+            }
+            ref other => panic!("expected span, got {other:?}"),
+        }
+        // One placement span per block (4 blocks, all within slot cap).
+        let slot_spans = events
+            .iter()
+            .filter(|e| e.track.starts_with("sm-slot"))
+            .count();
+        assert_eq!(slot_spans, 4);
+        // Counter samples present.
+        assert!(events.iter().any(|e| e.name == "occupancy"));
+        assert!(events.iter().any(|e| e.name == "gm_bytes"));
+        assert_eq!(sink.processes(), vec![(1, "Tesla V100".to_string())]);
+    }
+
+    #[test]
+    fn untraced_launch_emits_nothing() {
+        let gpu = Gpu::with_trace(V100, wsvd_trace::TraceSink::disabled());
+        let mut data = vec![0.0f64; 2];
+        let cfg = KernelConfig::new(2, 64, 1024, "untraced");
+        gpu.launch_over(cfg, &mut data, |_, _, ctx| {
+            ctx.par_step(8, 1);
+            Ok(())
+        })
+        .unwrap();
+        assert!(!gpu.trace().is_enabled());
+        assert!(gpu.trace().events().is_empty());
+        assert_eq!(gpu.trace_pid(), 0);
     }
 
     #[test]

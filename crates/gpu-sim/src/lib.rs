@@ -27,7 +27,7 @@ pub mod smem;
 
 pub use cluster::GpuCluster;
 pub use counters::{BlockCounters, LaunchStats, Timeline};
-pub use device::{DeviceSpec, ALL_DEVICES, A100, P100, TITAN_X, V100, VEGA20};
-pub use launch::{BlockCtx, Gpu, KernelConfig, KernelError};
+pub use device::{DeviceSpec, A100, ALL_DEVICES, P100, TITAN_X, V100, VEGA20};
+pub use launch::{BlockCtx, BlockPlacement, Gpu, KernelConfig, KernelError};
 pub use profile::{KernelProfile, Profiler};
 pub use smem::{SharedMem, SmemBuf, SmemOverflow};

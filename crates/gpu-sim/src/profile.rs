@@ -79,7 +79,8 @@ impl Profiler {
         use std::fmt::Write;
         let total = self.total_seconds().max(f64::MIN_POSITIVE);
         let mut rows: Vec<(&str, &KernelProfile)> = self.iter().collect();
-        rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+        // total_cmp: NaN-safe, so a pathological profile can't panic render.
+        rows.sort_by(|a, b| b.1.seconds.total_cmp(&a.1.seconds));
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -111,7 +112,10 @@ mod tests {
         LaunchStats {
             grid,
             kernel_seconds: secs,
-            totals: BlockCounters { flops, ..Default::default() },
+            totals: BlockCounters {
+                flops,
+                ..Default::default()
+            },
             occupancy: 0.5,
             ..Default::default()
         }
@@ -140,6 +144,16 @@ mod tests {
         let hot_pos = s.find("hot").unwrap();
         let cheap_pos = s.find("cheap").unwrap();
         assert!(hot_pos < cheap_pos, "{s}");
+    }
+
+    #[test]
+    fn render_survives_nan_seconds() {
+        let mut p = Profiler::new();
+        p.record("ok", &stats(1, 1.0, 1));
+        p.record("nan", &stats(1, f64::NAN, 1));
+        // Must not panic; NaN sorts deterministically under total_cmp.
+        let s = p.render();
+        assert!(s.contains("ok") && s.contains("nan"));
     }
 
     #[test]

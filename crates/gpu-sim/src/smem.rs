@@ -79,7 +79,10 @@ impl SharedMem {
         if self.used.get() > self.peak.get() {
             self.peak.set(self.used.get());
         }
-        Ok(SmemBuf { data: vec![0.0; n], used: Rc::clone(&self.used) })
+        Ok(SmemBuf {
+            data: vec![0.0; n],
+            used: Rc::clone(&self.used),
+        })
     }
 
     /// Allocates and fills from a global-memory slice (callers should count

@@ -29,7 +29,9 @@ pub fn batched_svd_sm(
         gpu.device().smem_per_block_bytes,
         "batched_svd_sm",
     );
-    gpu.launch_collect(kc, |b, ctx| svd_in_block(&mats[b], cfg, ctx, MemSpace::Shared))
+    gpu.launch_collect(kc, |b, ctx| {
+        svd_in_block(&mats[b], cfg, ctx, MemSpace::Shared)
+    })
 }
 
 /// Batched one-sided Jacobi SVD operating directly on global memory (the
@@ -41,7 +43,9 @@ pub fn batched_svd_gm(
     threads_per_block: usize,
 ) -> Result<(Vec<JacobiSvd>, LaunchStats), KernelError> {
     let kc = KernelConfig::new(mats.len(), threads_per_block, 0, "batched_svd_gm");
-    gpu.launch_collect(kc, |b, ctx| svd_in_block(&mats[b], cfg, ctx, MemSpace::Global))
+    gpu.launch_collect(kc, |b, ctx| {
+        svd_in_block(&mats[b], cfg, ctx, MemSpace::Global)
+    })
 }
 
 /// Batched two-sided Jacobi EVD in shared memory (Algorithm 2, line 11).
@@ -72,8 +76,7 @@ mod tests {
     fn batched_svd_sm_matches_reference_per_matrix() {
         let gpu = Gpu::new(V100);
         let mats = random_batch(8, 16, 12, 42);
-        let (outs, stats) =
-            batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
+        let (outs, stats) = batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
         assert_eq!(outs.len(), 8);
         assert_eq!(stats.grid, 8);
         for (a, svd) in mats.iter().zip(&outs) {
@@ -89,8 +92,7 @@ mod tests {
         let occ = |count: usize| {
             let gpu = Gpu::new(V100);
             let mats = random_batch(count, 16, 16, 7);
-            let (_, stats) =
-                batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
+            let (_, stats) = batched_svd_sm(&gpu, &mats, &OneSidedConfig::default(), 128).unwrap();
             stats.occupancy
         };
         assert!(occ(200) > occ(10));
@@ -124,8 +126,7 @@ mod tests {
     #[test]
     fn empty_batch_is_ok() {
         let gpu = Gpu::new(V100);
-        let (outs, stats) =
-            batched_svd_sm(&gpu, &[], &OneSidedConfig::default(), 128).unwrap();
+        let (outs, stats) = batched_svd_sm(&gpu, &[], &OneSidedConfig::default(), 128).unwrap();
         assert!(outs.is_empty());
         assert_eq!(stats.grid, 0);
     }

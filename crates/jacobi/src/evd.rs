@@ -42,7 +42,11 @@ pub struct EvdConfig {
 
 impl Default for EvdConfig {
     fn default() -> Self {
-        Self { tol: 1e-13, max_sweeps: 40, variant: EvdVariant::Parallel }
+        Self {
+            tol: 1e-13,
+            max_sweeps: 40,
+            variant: EvdVariant::Parallel,
+        }
     }
 }
 
@@ -72,7 +76,10 @@ pub fn evd_in_block(
 ) -> Result<JacobiEvd, KernelError> {
     let (s, s2) = b.shape();
     assert_eq!(s, s2, "EVD requires a square matrix");
-    debug_assert!(b.sub(&b.transpose()).max_abs() < 1e-10 * (1.0 + b.max_abs()), "EVD input must be symmetric");
+    debug_assert!(
+        b.sub(&b.transpose()).max_abs() < 1e-10 * (1.0 + b.max_abs()),
+        "EVD input must be symmetric"
+    );
 
     // Charge the SM footprint (matches `fits::evd_smem_elems`).
     let _b_buf = ctx.gm_load_to_smem(b.as_slice())?;
@@ -106,7 +113,12 @@ pub fn evd_in_block(
         jp.col_mut(k).copy_from_slice(j.col(i));
     }
     lambda = lambda_sorted;
-    Ok(JacobiEvd { lambda, j: jp, sweeps, converged })
+    Ok(JacobiEvd {
+        lambda,
+        j: jp,
+        sweeps,
+        converged,
+    })
 }
 
 /// Classic cyclic sweep: one elimination at a time, rows and columns updated
@@ -262,7 +274,9 @@ mod tests {
     fn run(b: &Matrix, cfg: &EvdConfig) -> (JacobiEvd, wsvd_gpu_sim::LaunchStats) {
         let gpu = Gpu::new(V100);
         let kc = KernelConfig::new(1, 256, 48 * 1024, "evd");
-        let (mut out, stats) = gpu.launch_collect(kc, |_, ctx| evd_in_block(b, cfg, ctx)).unwrap();
+        let (mut out, stats) = gpu
+            .launch_collect(kc, |_, ctx| evd_in_block(b, cfg, ctx))
+            .unwrap();
         (out.pop().unwrap(), stats)
     }
 
@@ -279,7 +293,13 @@ mod tests {
     #[test]
     fn sequential_diagonalizes_symmetric() {
         let b = random_symmetric(12, 9);
-        let (evd, _) = run(&b, &EvdConfig { variant: EvdVariant::Sequential, ..Default::default() });
+        let (evd, _) = run(
+            &b,
+            &EvdConfig {
+                variant: EvdVariant::Sequential,
+                ..Default::default()
+            },
+        );
         assert!(evd.converged);
         assert!(evd_residual(&b, &evd.j, &evd.lambda) < 1e-10);
     }
@@ -288,7 +308,13 @@ mod tests {
     fn variants_agree_on_spectrum() {
         let b = random_symmetric(10, 21);
         let (par, _) = run(&b, &EvdConfig::default());
-        let (seq, _) = run(&b, &EvdConfig { variant: EvdVariant::Sequential, ..Default::default() });
+        let (seq, _) = run(
+            &b,
+            &EvdConfig {
+                variant: EvdVariant::Sequential,
+                ..Default::default()
+            },
+        );
         for (a, c) in par.lambda.iter().zip(&seq.lambda) {
             assert!((a - c).abs() < 1e-9, "{a} vs {c}");
         }
@@ -309,10 +335,21 @@ mod tests {
     fn parallel_has_much_shorter_span_than_sequential() {
         // The Fig. 10(b) claim: ~6x for 32x32.
         let b = random_symmetric(32, 41);
-        let (_, par) = run(&b, &EvdConfig { max_sweeps: 1, tol: 0.0, ..Default::default() });
+        let (_, par) = run(
+            &b,
+            &EvdConfig {
+                max_sweeps: 1,
+                tol: 0.0,
+                ..Default::default()
+            },
+        );
         let (_, seq) = run(
             &b,
-            &EvdConfig { max_sweeps: 1, tol: 0.0, variant: EvdVariant::Sequential },
+            &EvdConfig {
+                max_sweeps: 1,
+                tol: 0.0,
+                variant: EvdVariant::Sequential,
+            },
         );
         let speedup = seq.totals.span_cycles / par.totals.span_cycles;
         assert!(speedup > 3.0, "span speedup only {speedup:.2}x");

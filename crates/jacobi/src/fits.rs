@@ -71,7 +71,10 @@ mod tests {
         // fits in 48 KiB.
         assert!(evd_fits_in_sm(48, SM48K), "EVD of 48x48 must fit");
         assert!(!evd_fits_in_sm(2 * 25, SM48K), "EVD of 50x50 must not fit");
-        assert!(!svd_fits_in_sm(1536, 48, SM48K), "SVD of 1536x48 must not fit");
+        assert!(
+            !svd_fits_in_sm(1536, 48, SM48K),
+            "SVD of 1536x48 must not fit"
+        );
         assert!(!svd_fits_in_sm(1536, 50, SM48K));
     }
 

@@ -56,6 +56,10 @@ pub struct OneSidedConfig {
     /// every sweep (a kernel that exits per sweep for host-side convergence
     /// checks, like cuSOLVER's `gesvdj`), instead of staying SM-resident.
     pub gm_stage_per_sweep: bool,
+    /// Record the per-sweep maximum coherence in
+    /// [`SweepOutcome::coherence_per_sweep`] (convergence telemetry for
+    /// tracing; off by default so untraced runs allocate nothing).
+    pub record_coherence: bool,
 }
 
 impl Default for OneSidedConfig {
@@ -68,6 +72,7 @@ impl Default for OneSidedConfig {
             accumulate_v: true,
             ordering: Ordering::RoundRobin,
             gm_stage_per_sweep: false,
+            record_coherence: false,
         }
     }
 }
@@ -95,6 +100,9 @@ pub struct SweepOutcome {
     pub v: Option<Matrix>,
     /// Iteration statistics.
     pub stats: JacobiStats,
+    /// Maximum coherence observed during each sweep, oldest first. Empty
+    /// unless [`OneSidedConfig::record_coherence`] was set.
+    pub coherence_per_sweep: Vec<f64>,
 }
 
 /// Runs one-sided Jacobi sweeps on `a` in place (columns converge to `UΣ`).
@@ -108,12 +116,21 @@ pub fn one_sided_sweeps(
     space: MemSpace,
 ) -> SweepOutcome {
     let (m, n) = a.shape();
-    let mut v = if cfg.accumulate_v { Some(Matrix::identity(n)) } else { None };
+    let mut v = if cfg.accumulate_v {
+        Some(Matrix::identity(n))
+    } else {
+        None
+    };
     let mut stats = JacobiStats::default();
     if n < 2 {
         stats.converged = true;
-        return SweepOutcome { v, stats };
+        return SweepOutcome {
+            v,
+            stats,
+            coherence_per_sweep: Vec::new(),
+        };
     }
+    let mut coherence_per_sweep = Vec::new();
 
     let schedule = cfg.ordering.schedule(n);
     let tpp = cfg.threads_per_pair.max(1);
@@ -225,12 +242,19 @@ pub fn one_sided_sweeps(
             }
         }
 
+        if cfg.record_coherence {
+            coherence_per_sweep.push(max_coherence);
+        }
         if max_coherence <= cfg.tol {
             stats.converged = true;
             break;
         }
     }
-    SweepOutcome { v, stats }
+    SweepOutcome {
+        v,
+        stats,
+        coherence_per_sweep,
+    }
 }
 
 /// Full SVD of one matrix produced by a Jacobi kernel.
@@ -245,14 +269,24 @@ pub struct JacobiSvd {
     pub v: Matrix,
     /// Iteration statistics.
     pub stats: JacobiStats,
+    /// Per-sweep maximum coherence (empty unless
+    /// [`OneSidedConfig::record_coherence`] was set).
+    pub coherence_per_sweep: Vec<f64>,
 }
 
 /// Extracts `U` and `Σ` from converged columns (`A_conv = U Σ`), sorting all
 /// factors by descending singular value.
-fn extract_factors(conv: &Matrix, v: Matrix, stats: JacobiStats) -> JacobiSvd {
+fn extract_factors(
+    conv: &Matrix,
+    v: Matrix,
+    stats: JacobiStats,
+    coherence_per_sweep: Vec<f64>,
+) -> JacobiSvd {
     let (m, n) = conv.shape();
     let mut order: Vec<usize> = (0..n).collect();
-    let sig: Vec<f64> = (0..n).map(|j| dot(conv.col(j), conv.col(j)).sqrt()).collect();
+    let sig: Vec<f64> = (0..n)
+        .map(|j| dot(conv.col(j), conv.col(j)).sqrt())
+        .collect();
     order.sort_by(|&x, &y| sig[y].partial_cmp(&sig[x]).unwrap());
 
     let r = m.min(n);
@@ -276,7 +310,13 @@ fn extract_factors(conv: &Matrix, v: Matrix, stats: JacobiStats) -> JacobiSvd {
     for (k, &j) in order.iter().enumerate() {
         vp.col_mut(k).copy_from_slice(v.col(j));
     }
-    JacobiSvd { u, sigma, v: vp, stats }
+    JacobiSvd {
+        u,
+        sigma,
+        v: vp,
+        stats,
+        coherence_per_sweep,
+    }
 }
 
 /// One-sided Jacobi SVD of one matrix inside one simulated block.
@@ -301,16 +341,28 @@ pub fn svd_in_block(
         let _n_buf;
         if space == MemSpace::Shared {
             _a_buf = ctx.gm_load_to_smem(a.as_slice())?;
-            _v_buf = if cfg.accumulate_v { Some(ctx.smem().alloc(n * n)?) } else { None };
+            _v_buf = if cfg.accumulate_v {
+                Some(ctx.smem().alloc(n * n)?)
+            } else {
+                None
+            };
             _n_buf = ctx.smem().alloc(2 * n)?;
         }
         let mut work = a.clone();
-        let cfg = OneSidedConfig { accumulate_v: true, ..*cfg };
+        let cfg = OneSidedConfig {
+            accumulate_v: true,
+            ..*cfg
+        };
         let out = one_sided_sweeps(&mut work, &cfg, ctx, space);
         if space == MemSpace::Shared {
             ctx.count_gm_store(m * n + n * n);
         }
-        Ok(extract_factors(&work, out.v.expect("accumulate_v forced on"), out.stats))
+        Ok(extract_factors(
+            &work,
+            out.v.expect("accumulate_v forced on"),
+            out.stats,
+            out.coherence_per_sweep,
+        ))
     } else {
         // Wide: decompose A^T (n x m, tall). Accumulated V of A^T is U of A;
         // converged columns of A^T give V of A (thin), completed to square.
@@ -324,15 +376,29 @@ pub fn svd_in_block(
             _n_buf = ctx.smem().alloc(2 * m)?;
         }
         let mut work = at;
-        let cfg_t = OneSidedConfig { accumulate_v: true, ..*cfg };
+        let cfg_t = OneSidedConfig {
+            accumulate_v: true,
+            ..*cfg
+        };
         let out = one_sided_sweeps(&mut work, &cfg_t, ctx, space);
         if space == MemSpace::Shared {
             ctx.count_gm_store(n * m + m * m);
         }
-        let t = extract_factors(&work, out.v.expect("accumulate_v forced on"), out.stats);
+        let t = extract_factors(
+            &work,
+            out.v.expect("accumulate_v forced on"),
+            out.stats,
+            out.coherence_per_sweep,
+        );
         // t.u (n x m) = V of A (thin); t.v (m x m) = U of A.
         let v_full = complete_orthonormal(&t.u, &t.sigma, ctx);
-        Ok(JacobiSvd { u: t.v, sigma: t.sigma, v: v_full, stats: t.stats })
+        Ok(JacobiSvd {
+            u: t.v,
+            sigma: t.sigma,
+            v: v_full,
+            stats: t.stats,
+            coherence_per_sweep: t.coherence_per_sweep,
+        })
     }
 }
 
@@ -344,8 +410,8 @@ fn complete_orthonormal(thin: &Matrix, sigma: &[f64], ctx: &mut BlockCtx) -> Mat
     let r = thin.cols();
     let cutoff = sigma.first().copied().unwrap_or(0.0) * 1e-13;
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(n);
-    for j in 0..r {
-        if sigma[j] > cutoff {
+    for (j, &s) in sigma.iter().take(r).enumerate() {
+        if s > cutoff {
             basis.push(thin.col(j).to_vec());
         }
     }
@@ -388,7 +454,11 @@ mod tests {
 
     fn run_one(a: &Matrix, cfg: &OneSidedConfig, space: MemSpace) -> JacobiSvd {
         let gpu = Gpu::new(V100);
-        let smem = if space == MemSpace::Shared { 48 * 1024 } else { 0 };
+        let smem = if space == MemSpace::Shared {
+            48 * 1024
+        } else {
+            0
+        };
         let kc = KernelConfig::new(1, 128, smem, "test-svd");
         let (mut out, _) = gpu
             .launch_collect(kc, |_, ctx| svd_in_block(a, cfg, ctx, space))
@@ -440,7 +510,10 @@ mod tests {
         let svd = run_one(&a, &OneSidedConfig::default(), MemSpace::Shared);
         assert!(svd.stats.converged);
         assert_eq!(svd.v.shape(), (10, 10), "V must be completed to square");
-        assert!(orthonormality_error(&svd.v) < 1e-8, "completed V not orthonormal");
+        assert!(
+            orthonormality_error(&svd.v) < 1e-8,
+            "completed V not orthonormal"
+        );
         assert!(reconstruct(&svd, 4, 10).sub(&a).max_abs() < 1e-9);
         // Applying the full V to A concentrates all mass in the first r
         // columns (the property the W-cycle update relies on).
@@ -456,12 +529,18 @@ mod tests {
         let a = random_uniform(16, 8, 11);
         let cached = run_one(
             &a,
-            &OneSidedConfig { cache_norms: true, ..Default::default() },
+            &OneSidedConfig {
+                cache_norms: true,
+                ..Default::default()
+            },
             MemSpace::Shared,
         );
         let plain = run_one(
             &a,
-            &OneSidedConfig { cache_norms: false, ..Default::default() },
+            &OneSidedConfig {
+                cache_norms: false,
+                ..Default::default()
+            },
             MemSpace::Shared,
         );
         assert!(cached.stats.dots_avoided > 0);
@@ -492,8 +571,7 @@ mod tests {
         let kc = KernelConfig::new(1, 128, 0, "sweeps");
         gpu.launch_collect(kc, |_, ctx| {
             let mut w = a.clone();
-            let out =
-                one_sided_sweeps(&mut w, &OneSidedConfig::default(), ctx, MemSpace::Global);
+            let out = one_sided_sweeps(&mut w, &OneSidedConfig::default(), ctx, MemSpace::Global);
             assert!(out.stats.converged);
             assert!(max_column_coherence(&w) < 1e-10);
             Ok(())
@@ -521,7 +599,10 @@ mod tests {
     fn sm_fits_predicate_matches_kernel() {
         // If the predicate says it fits, the kernel must not overflow.
         for &(m, n) in &[(32usize, 32usize), (48, 24), (64, 16), (24, 48)] {
-            assert!(crate::fits::svd_fits_in_sm(m, n, 48 * 1024), "({m},{n}) should fit");
+            assert!(
+                crate::fits::svd_fits_in_sm(m, n, 48 * 1024),
+                "({m},{n}) should fit"
+            );
             let a = random_uniform(m, n, (m * 100 + n) as u64);
             let svd = run_one(&a, &OneSidedConfig::default(), MemSpace::Shared);
             assert!(svd.stats.converged, "({m},{n}) did not converge");
@@ -538,7 +619,10 @@ mod tests {
                 svd_in_block(&a, &OneSidedConfig::default(), ctx, MemSpace::Global)
             })
             .unwrap();
-        assert!(stats.totals.gm_transactions > 100, "GM path must be traffic-heavy");
+        assert!(
+            stats.totals.gm_transactions > 100,
+            "GM path must be traffic-heavy"
+        );
     }
 
     #[test]
@@ -551,7 +635,10 @@ mod tests {
                 .launch_collect(kc, |_, ctx| {
                     svd_in_block(
                         &a,
-                        &OneSidedConfig { threads_per_pair: tpp, ..Default::default() },
+                        &OneSidedConfig {
+                            threads_per_pair: tpp,
+                            ..Default::default()
+                        },
                         ctx,
                         MemSpace::Shared,
                     )

@@ -140,7 +140,11 @@ mod tests {
                 assert!(seen.insert((i, j)), "pair ({i},{j}) repeated");
             }
         }
-        assert_eq!(seen.len(), n * (n - 1) / 2, "not all pairs covered for n={n}");
+        assert_eq!(
+            seen.len(),
+            n * (n - 1) / 2,
+            "not all pairs covered for n={n}"
+        );
     }
 
     fn check_steps_disjoint(s: &Schedule) {

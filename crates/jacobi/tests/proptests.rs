@@ -11,7 +11,11 @@ use wsvd_linalg::{singular_values, Matrix};
 
 fn run_svd(a: &Matrix, cfg: &OneSidedConfig, space: MemSpace) -> wsvd_jacobi::JacobiSvd {
     let gpu = Gpu::new(V100);
-    let smem = if space == MemSpace::Shared { 48 * 1024 } else { 0 };
+    let smem = if space == MemSpace::Shared {
+        48 * 1024
+    } else {
+        0
+    };
     let kc = KernelConfig::new(1, 128, smem, "prop-svd");
     gpu.launch_collect(kc, |_, ctx| svd_in_block(a, cfg, ctx, space))
         .unwrap()

@@ -50,7 +50,11 @@ pub fn bidiag_qr(
     mut v: Option<&mut Matrix>,
 ) -> Result<usize, String> {
     let n = s.len();
-    assert_eq!(e.len(), n, "superdiagonal buffer must have length n (last element 0)");
+    assert_eq!(
+        e.len(),
+        n,
+        "superdiagonal buffer must have length n (last element 0)"
+    );
     if n == 0 {
         return Ok(0);
     }
@@ -99,8 +103,11 @@ pub fn bidiag_qr(
             let mut ks = p as isize - 1;
             while ks > k {
                 let ksu = ks as usize;
-                let t = (if ks != p as isize - 1 { e[ksu].abs() } else { 0.0 })
-                    + (if ks != k + 1 { e[ksu - 1].abs() } else { 0.0 });
+                let t = (if ks != p as isize - 1 {
+                    e[ksu].abs()
+                } else {
+                    0.0
+                }) + (if ks != k + 1 { e[ksu - 1].abs() } else { 0.0 });
                 if s[ksu].abs() <= TINY + EPS * t {
                     s[ksu] = 0.0;
                     break;

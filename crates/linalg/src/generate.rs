@@ -33,7 +33,10 @@ pub fn random_spd(n: usize, seed: u64) -> Matrix {
 /// `A = U diag(sigma) V^T` with seeded orthogonal `U`, `V`.
 pub fn with_spectrum(rows: usize, cols: usize, sigma: &[f64], seed: u64) -> Matrix {
     let r = rows.min(cols);
-    assert!(sigma.len() == r, "need exactly min(m, n) = {r} singular values");
+    assert!(
+        sigma.len() == r,
+        "need exactly min(m, n) = {r} singular values"
+    );
     let u = seeded_orthogonal(rows, seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
     let v = seeded_orthogonal(cols, seed.wrapping_mul(0xc2b2ae3d27d4eb4f).wrapping_add(2));
     let mut s = Matrix::zeros(rows, cols);
@@ -53,7 +56,9 @@ pub fn log_spaced_spectrum(r: usize, sigma_max: f64, cond: f64) -> Vec<f64> {
     }
     let lo = sigma_max / cond;
     let ratio = (lo / sigma_max).ln() / (r - 1) as f64;
-    (0..r).map(|i| sigma_max * (ratio * i as f64).exp()).collect()
+    (0..r)
+        .map(|i| sigma_max * (ratio * i as f64).exp())
+        .collect()
 }
 
 /// Matrix with a prescribed 2-norm condition number (log-spaced spectrum).
@@ -65,7 +70,13 @@ pub fn with_condition_number(rows: usize, cols: usize, cond: f64, seed: u64) -> 
 /// A batch of `count` random matrices of the same size, distinct seeds.
 pub fn random_batch(count: usize, rows: usize, cols: usize, seed: u64) -> Vec<Matrix> {
     (0..count)
-        .map(|k| random_uniform(rows, cols, seed.wrapping_add((k as u64).wrapping_mul(0x2545f4914f6cdd1d))))
+        .map(|k| {
+            random_uniform(
+                rows,
+                cols,
+                seed.wrapping_add((k as u64).wrapping_mul(0x2545f4914f6cdd1d)),
+            )
+        })
         .collect()
 }
 
@@ -74,18 +85,17 @@ pub fn mixed_size_batch(sizes: &[(usize, usize)], count: usize, seed: u64) -> Ve
     (0..count)
         .map(|k| {
             let (m, n) = sizes[k % sizes.len()];
-            random_uniform(m, n, seed.wrapping_add((k as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+            random_uniform(
+                m,
+                n,
+                seed.wrapping_add((k as u64).wrapping_mul(0x9e3779b97f4a7c15)),
+            )
         })
         .collect()
 }
 
 /// Mixed sizes sampled uniformly from `[min_dim, max_dim]` for both axes.
-pub fn random_size_batch(
-    count: usize,
-    min_dim: usize,
-    max_dim: usize,
-    seed: u64,
-) -> Vec<Matrix> {
+pub fn random_size_batch(count: usize, min_dim: usize, max_dim: usize, seed: u64) -> Vec<Matrix> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|k| {
@@ -103,8 +113,14 @@ mod tests {
 
     #[test]
     fn random_uniform_is_deterministic() {
-        assert_eq!(random_uniform(4, 4, 9).as_slice(), random_uniform(4, 4, 9).as_slice());
-        assert_ne!(random_uniform(4, 4, 9).as_slice(), random_uniform(4, 4, 10).as_slice());
+        assert_eq!(
+            random_uniform(4, 4, 9).as_slice(),
+            random_uniform(4, 4, 9).as_slice()
+        );
+        assert_ne!(
+            random_uniform(4, 4, 9).as_slice(),
+            random_uniform(4, 4, 10).as_slice()
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub fn householder(x: &[f64]) -> (Reflector, f64) {
         return (Reflector { v, beta: 2.0 }, -x[0]);
     }
     let mu = (x[0] * x[0] + sigma).sqrt();
-    let v0 = if x[0] <= 0.0 { x[0] - mu } else { -sigma / (x[0] + mu) };
+    let v0 = if x[0] <= 0.0 {
+        x[0] - mu
+    } else {
+        -sigma / (x[0] + mu)
+    };
     let beta = 2.0 * v0 * v0 / (sigma + v0 * v0);
     for item in v.iter_mut().skip(1) {
         *item /= v0;
@@ -104,7 +108,10 @@ pub struct Bidiagonal {
 /// matrices. This is the first stage of the MAGMA-like two-stage SVD.
 pub fn bidiagonalize(a: &Matrix) -> Bidiagonal {
     let (m, n) = a.shape();
-    assert!(m >= n, "bidiagonalize requires m >= n (got {m}x{n}); transpose first");
+    assert!(
+        m >= n,
+        "bidiagonalize requires m >= n (got {m}x{n}); transpose first"
+    );
     let mut work = a.clone();
     let mut left: Vec<(Reflector, usize)> = Vec::with_capacity(n);
     let mut right: Vec<(Reflector, usize)> = Vec::with_capacity(n.saturating_sub(2));
@@ -137,7 +144,12 @@ pub fn bidiagonalize(a: &Matrix) -> Bidiagonal {
 
     let diag: Vec<f64> = (0..n).map(|i| work[(i, i)]).collect();
     let superdiag: Vec<f64> = (0..n.saturating_sub(1)).map(|i| work[(i, i + 1)]).collect();
-    Bidiagonal { u, diag, superdiag, v }
+    Bidiagonal {
+        u,
+        diag,
+        superdiag,
+        v,
+    }
 }
 
 /// Generates a random-ish orthogonal matrix deterministically from a seed by
@@ -147,14 +159,18 @@ pub fn bidiagonalize(a: &Matrix) -> Bidiagonal {
 /// generators (which need orthogonal factors with a prescribed spectrum).
 pub fn seeded_orthogonal(n: usize, seed: u64) -> Matrix {
     let mut q = Matrix::identity(n);
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Map the top 53 bits to (-1, 1).
         ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     };
     // n reflectors are enough to mix all directions.
-    for _ in 0..n.min(16).max(2) {
+    for _ in 0..n.clamp(2, 16) {
         let x: Vec<f64> = (0..n).map(|_| next()).collect();
         let nrm = dot(&x, &x).sqrt();
         if nrm == 0.0 {

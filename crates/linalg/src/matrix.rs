@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -158,7 +162,11 @@ impl Matrix {
     pub fn col_block(&self, start: usize, width: usize) -> Matrix {
         assert!(start + width <= self.cols);
         let data = self.data[start * self.rows..(start + width) * self.rows].to_vec();
-        Matrix { rows: self.rows, cols: width, data }
+        Matrix {
+            rows: self.rows,
+            cols: width,
+            data,
+        }
     }
 
     /// Copies a pair of equally wide column blocks `[i*w, i*w+w)` and
@@ -168,7 +176,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.rows * 2 * w);
         data.extend_from_slice(&self.data[i * w * self.rows..(i * w + w) * self.rows]);
         data.extend_from_slice(&self.data[j * w * self.rows..(j * w + w) * self.rows]);
-        Matrix { rows: self.rows, cols: 2 * w, data }
+        Matrix {
+            rows: self.rows,
+            cols: 2 * w,
+            data,
+        }
     }
 
     /// Writes `block` (of width `2w`) back into column blocks `i` and `j`.
@@ -211,8 +223,17 @@ impl Matrix {
     /// Element-wise `self - other` as a new matrix.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape());
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm.
@@ -240,7 +261,9 @@ impl Matrix {
 
     /// Main-diagonal entries.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Swaps two columns in place.
@@ -265,7 +288,11 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {:?}",
+            self.shape()
+        );
         &self.data[i + j * self.rows]
     }
 }
@@ -273,7 +300,11 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {:?}",
+            self.shape()
+        );
         &mut self.data[i + j * self.rows]
     }
 }

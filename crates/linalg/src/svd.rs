@@ -47,8 +47,12 @@ impl Svd {
 
     /// `max(||U^T U - I||_max, ||V^T V - I||_max)`.
     pub fn orthogonality_error(&self) -> f64 {
-        let eu = gram(&self.u).sub(&Matrix::identity(self.u.cols())).max_abs();
-        let ev = gram(&self.v).sub(&Matrix::identity(self.v.cols())).max_abs();
+        let eu = gram(&self.u)
+            .sub(&Matrix::identity(self.u.cols()))
+            .max_abs();
+        let ev = gram(&self.v)
+            .sub(&Matrix::identity(self.v.cols()))
+            .max_abs();
         eu.max(ev)
     }
 
@@ -68,11 +72,19 @@ impl Svd {
 pub fn svd_reference(a: &Matrix) -> Result<Svd, String> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
-        return Ok(Svd { u: Matrix::zeros(m, 0), sigma: vec![], v: Matrix::zeros(n, 0) });
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            sigma: vec![],
+            v: Matrix::zeros(n, 0),
+        });
     }
     if m < n {
         let t = svd_reference(&a.transpose())?;
-        return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+        return Ok(Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        });
     }
     let bd = bidiagonalize(a);
     let mut s = bd.diag.clone();

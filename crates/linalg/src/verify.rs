@@ -146,7 +146,10 @@ mod tests {
         a.col_mut(0).copy_from_slice(&[1.0, 1.0, 1.0]);
         a.col_mut(1).copy_from_slice(&[1e-17, 1e-17, 0.0]);
         assert!(max_column_coherence(&a) < 1e-12 || columns_converged(&a, 1e-12));
-        assert!(columns_converged(&a, 1e-12), "noise-level coupling must count as converged");
+        assert!(
+            columns_converged(&a, 1e-12),
+            "noise-level coupling must count as converged"
+        );
     }
 
     #[test]

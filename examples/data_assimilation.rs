@@ -24,13 +24,21 @@ fn main() {
 
     let gpu_m = Gpu::new(VEGA20);
     let magma = analysis_step(&gpu_m, &problem, SvdEngine::Magma).expect("magma path");
-    println!("MAGMA analysis:   {:>9.3} ms simulated", magma.svd_seconds * 1e3);
+    println!(
+        "MAGMA analysis:   {:>9.3} ms simulated",
+        magma.svd_seconds * 1e3
+    );
 
     let gpu_w = Gpu::new(VEGA20);
     let wcycle = analysis_step(&gpu_w, &problem, SvdEngine::WCycle).expect("wcycle path");
-    println!("W-cycle analysis: {:>9.3} ms simulated", wcycle.svd_seconds * 1e3);
-    println!("speedup: {:.2}x (paper reports 2.73~3.09x at full mesh scale)",
-        magma.svd_seconds / wcycle.svd_seconds);
+    println!(
+        "W-cycle analysis: {:>9.3} ms simulated",
+        wcycle.svd_seconds * 1e3
+    );
+    println!(
+        "speedup: {:.2}x (paper reports 2.73~3.09x at full mesh scale)",
+        magma.svd_seconds / wcycle.svd_seconds
+    );
 
     // Cross-engine validation: identical analysis weights (up to the sign
     // ambiguity of singular vectors, so compare norms).

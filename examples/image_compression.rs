@@ -11,10 +11,25 @@ use wcycle_svd::gpu::{Gpu, V100};
 fn main() {
     let gpu = Gpu::new(V100);
     let img = synthetic_image(192, 256);
-    println!("image: {}x{} ({} floats)", img.rows(), img.cols(), img.len());
-    println!("{:>6} {:>6} {:>16} {:>14} {:>12}", "tile", "rank", "rel. error", "storage", "sim time");
+    println!(
+        "image: {}x{} ({} floats)",
+        img.rows(),
+        img.cols(),
+        img.len()
+    );
+    println!(
+        "{:>6} {:>6} {:>16} {:>14} {:>12}",
+        "tile", "rank", "rel. error", "storage", "sim time"
+    );
 
-    for &(tile, rank) in &[(32usize, 2usize), (32, 4), (32, 8), (64, 4), (64, 8), (64, 16)] {
+    for &(tile, rank) in &[
+        (32usize, 2usize),
+        (32, 4),
+        (32, 8),
+        (64, 4),
+        (64, 8),
+        (64, 16),
+    ] {
         gpu.reset_timeline();
         let c = compress(&gpu, &img, tile, rank).expect("compression failed");
         println!(
@@ -28,5 +43,8 @@ fn main() {
     // Sanity: full rank reconstructs exactly.
     let exact = compress(&gpu, &img, 32, 32).unwrap();
     assert!(exact.relative_error < 1e-9);
-    println!("\nfull-rank check: relative error {:.2e} (exact)", exact.relative_error);
+    println!(
+        "\nfull-rank check: relative error {:.2e} (exact)",
+        exact.relative_error
+    );
 }

@@ -16,10 +16,10 @@ fn main() {
     // A batch with deliberately mixed shapes: the situation the W-cycle's
     // size-oblivious design is built for.
     let batch = vec![
-        random_uniform(16, 16, 1),                          // tiny: Level-0 SM kernel
-        random_uniform(100, 100, 2),                        // medium: block rotations
-        random_uniform(24, 72, 3),                          // wide: transpose trick
-        with_spectrum(64, 32, &known_spectrum(32), 4),      // known singular values
+        random_uniform(16, 16, 1),                     // tiny: Level-0 SM kernel
+        random_uniform(100, 100, 2),                   // medium: block rotations
+        random_uniform(24, 72, 3),                     // wide: transpose trick
+        with_spectrum(64, 32, &known_spectrum(32), 4), // known singular values
     ];
 
     let out = wcycle_svd(&gpu, &batch, &WCycleConfig::default()).expect("decomposition failed");

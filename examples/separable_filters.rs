@@ -18,8 +18,10 @@ fn main() {
         let seps = separate_filter_bank(&gpu, &bank, rank).expect("separation failed");
         let mean_energy: f64 =
             seps.iter().map(|s| s.energy_captured).sum::<f64>() / seps.len() as f64;
-        let worst_energy =
-            seps.iter().map(|s| s.energy_captured).fold(f64::INFINITY, f64::min);
+        let worst_energy = seps
+            .iter()
+            .map(|s| s.energy_captured)
+            .fold(f64::INFINITY, f64::min);
         println!(
             "rank {rank}: mean energy {:.1}%  worst {:.1}%  MACs/pixel {:.0}% of dense  ({:.3} ms simulated)",
             mean_energy * 100.0,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_baselines-3e04f23e49a67cc5.d: tests/integration_baselines.rs
+
+/root/repo/target/debug/deps/integration_baselines-3e04f23e49a67cc5: tests/integration_baselines.rs
+
+tests/integration_baselines.rs:

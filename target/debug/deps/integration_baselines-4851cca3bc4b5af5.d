@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_baselines-4851cca3bc4b5af5.d: tests/integration_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_baselines-4851cca3bc4b5af5.rmeta: tests/integration_baselines.rs Cargo.toml
+
+tests/integration_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_baselines-744713a8c745fb02.d: tests/integration_baselines.rs
+
+/root/repo/target/debug/deps/integration_baselines-744713a8c745fb02: tests/integration_baselines.rs
+
+tests/integration_baselines.rs:

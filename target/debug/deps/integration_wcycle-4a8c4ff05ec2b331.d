@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_wcycle-4a8c4ff05ec2b331.d: tests/integration_wcycle.rs
+
+/root/repo/target/debug/deps/integration_wcycle-4a8c4ff05ec2b331: tests/integration_wcycle.rs
+
+tests/integration_wcycle.rs:

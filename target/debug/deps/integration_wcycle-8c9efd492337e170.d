@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_wcycle-8c9efd492337e170.d: tests/integration_wcycle.rs
+
+/root/repo/target/debug/deps/integration_wcycle-8c9efd492337e170: tests/integration_wcycle.rs
+
+tests/integration_wcycle.rs:

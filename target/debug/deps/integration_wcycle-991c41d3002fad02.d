@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_wcycle-991c41d3002fad02.d: tests/integration_wcycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_wcycle-991c41d3002fad02.rmeta: tests/integration_wcycle.rs Cargo.toml
+
+tests/integration_wcycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-e2a849eb9ccf7b75.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-e2a849eb9ccf7b75.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-801ea4798d648163.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-801ea4798d648163: tests/property_tests.rs
+
+tests/property_tests.rs:

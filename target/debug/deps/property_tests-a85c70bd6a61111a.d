@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-a85c70bd6a61111a.d: tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-a85c70bd6a61111a.rmeta: tests/property_tests.rs Cargo.toml
+
+tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

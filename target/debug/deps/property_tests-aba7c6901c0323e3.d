@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-aba7c6901c0323e3.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-aba7c6901c0323e3: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3f8da2202e6cc97f.d: crates/batched/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3f8da2202e6cc97f: crates/batched/tests/proptests.rs
+
+crates/batched/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-56e4953fdf2772c0.d: crates/linalg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-56e4953fdf2772c0: crates/linalg/tests/proptests.rs
+
+crates/linalg/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7add4e3e55e32256.d: crates/jacobi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7add4e3e55e32256: crates/jacobi/tests/proptests.rs
+
+crates/jacobi/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8519ea20fd1b9451.d: crates/jacobi/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8519ea20fd1b9451.rmeta: crates/jacobi/tests/proptests.rs Cargo.toml
+
+crates/jacobi/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

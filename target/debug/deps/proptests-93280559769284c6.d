@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-93280559769284c6.d: crates/linalg/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-93280559769284c6.rmeta: crates/linalg/tests/proptests.rs Cargo.toml
+
+crates/linalg/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c17314cbd34ad960.d: crates/batched/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c17314cbd34ad960.rmeta: crates/batched/tests/proptests.rs Cargo.toml
+
+crates/batched/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-9e23b6a48ca708cd.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9e23b6a48ca708cd.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9e23b6a48ca708cd.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

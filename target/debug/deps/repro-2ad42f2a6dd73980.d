@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2ad42f2a6dd73980.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2ad42f2a6dd73980: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

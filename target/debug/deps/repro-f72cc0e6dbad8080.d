@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f72cc0e6dbad8080.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-f72cc0e6dbad8080: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-baebd7b25f7c1ff8.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-baebd7b25f7c1ff8.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-baebd7b25f7c1ff8.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-bb767e1c6eb0401c.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-bb767e1c6eb0401c: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

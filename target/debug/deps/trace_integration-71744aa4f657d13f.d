@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_integration-71744aa4f657d13f.d: tests/trace_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_integration-71744aa4f657d13f.rmeta: tests/trace_integration.rs Cargo.toml
+
+tests/trace_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

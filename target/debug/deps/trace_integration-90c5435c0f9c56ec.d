@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_integration-90c5435c0f9c56ec.d: tests/trace_integration.rs
+
+/root/repo/target/debug/deps/trace_integration-90c5435c0f9c56ec: tests/trace_integration.rs
+
+tests/trace_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wcycle-decfbc3f411712c7.d: crates/bench/benches/wcycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwcycle-decfbc3f411712c7.rmeta: crates/bench/benches/wcycle.rs Cargo.toml
+
+crates/bench/benches/wcycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

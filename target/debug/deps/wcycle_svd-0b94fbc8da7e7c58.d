@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wcycle_svd-0b94fbc8da7e7c58.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwcycle_svd-0b94fbc8da7e7c58.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

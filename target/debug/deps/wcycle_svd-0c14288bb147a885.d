@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcycle_svd-0c14288bb147a885.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-0c14288bb147a885.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-0c14288bb147a885.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcycle_svd-17d4ed8e53abbc67.d: src/lib.rs
+
+/root/repo/target/debug/deps/wcycle_svd-17d4ed8e53abbc67: src/lib.rs
+
+src/lib.rs:

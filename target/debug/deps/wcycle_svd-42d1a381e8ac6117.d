@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcycle_svd-42d1a381e8ac6117.d: src/lib.rs
+
+/root/repo/target/debug/deps/wcycle_svd-42d1a381e8ac6117: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wcycle_svd-4ce12688a36a8cfc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwcycle_svd-4ce12688a36a8cfc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcycle_svd-e244890bf26b76c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-e244890bf26b76c7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-e244890bf26b76c7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcycle_svd-f439459cc981af4c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-f439459cc981af4c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-f439459cc981af4c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsvd_apps-5ce0e0596ec1e5f1.d: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/debug/deps/libwsvd_apps-5ce0e0596ec1e5f1.rlib: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/debug/deps/libwsvd_apps-5ce0e0596ec1e5f1.rmeta: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/assimilation.rs:
+crates/apps/src/compression.rs:
+crates/apps/src/filters.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wsvd_apps-893d8801029ad643.d: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_apps-893d8801029ad643.rmeta: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/assimilation.rs:
+crates/apps/src/compression.rs:
+crates/apps/src/filters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsvd_baselines-a3ba05cd3a65a57d.d: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_baselines-a3ba05cd3a65a57d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/block.rs:
+crates/baselines/src/cusolver.rs:
+crates/baselines/src/dp.rs:
+crates/baselines/src/magma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsvd_batched-a9fb6025478bbd97.d: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_batched-a9fb6025478bbd97.rmeta: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs Cargo.toml
+
+crates/batched/src/lib.rs:
+crates/batched/src/alpha.rs:
+crates/batched/src/autotune.rs:
+crates/batched/src/gemm.rs:
+crates/batched/src/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsvd_core-7e89150ab851207f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/debug/deps/libwsvd_core-7e89150ab851207f.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/debug/deps/libwsvd_core-7e89150ab851207f.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/wcycle.rs:

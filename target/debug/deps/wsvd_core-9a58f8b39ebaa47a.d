@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsvd_core-9a58f8b39ebaa47a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/debug/deps/libwsvd_core-9a58f8b39ebaa47a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/debug/deps/libwsvd_core-9a58f8b39ebaa47a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/wcycle.rs:

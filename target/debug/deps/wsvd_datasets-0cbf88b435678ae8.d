@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsvd_datasets-0cbf88b435678ae8.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/debug/deps/wsvd_datasets-0cbf88b435678ae8: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:

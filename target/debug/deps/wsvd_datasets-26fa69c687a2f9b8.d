@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsvd_datasets-26fa69c687a2f9b8.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/debug/deps/libwsvd_datasets-26fa69c687a2f9b8.rlib: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/debug/deps/libwsvd_datasets-26fa69c687a2f9b8.rmeta: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsvd_datasets-3fc41a233abeb7e1.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/debug/deps/libwsvd_datasets-3fc41a233abeb7e1.rlib: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/debug/deps/libwsvd_datasets-3fc41a233abeb7e1.rmeta: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:

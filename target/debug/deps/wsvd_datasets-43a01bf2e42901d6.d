@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsvd_datasets-43a01bf2e42901d6.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_datasets-43a01bf2e42901d6.rmeta: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsvd_datasets-b787de8388405c7f.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_datasets-b787de8388405c7f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

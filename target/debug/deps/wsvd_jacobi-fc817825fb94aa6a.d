@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wsvd_jacobi-fc817825fb94aa6a.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+
+/root/repo/target/debug/deps/libwsvd_jacobi-fc817825fb94aa6a.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+
+/root/repo/target/debug/deps/libwsvd_jacobi-fc817825fb94aa6a.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+
+crates/jacobi/src/lib.rs:
+crates/jacobi/src/batch.rs:
+crates/jacobi/src/evd.rs:
+crates/jacobi/src/fits.rs:
+crates/jacobi/src/onesided.rs:
+crates/jacobi/src/ordering.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/wsvd_linalg-2feafa3c35cdaa41.d: crates/linalg/src/lib.rs crates/linalg/src/bidiag_svd.rs crates/linalg/src/cholesky.rs crates/linalg/src/gemm.rs crates/linalg/src/generate.rs crates/linalg/src/givens.rs crates/linalg/src/householder.rs crates/linalg/src/lowp.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_linalg-2feafa3c35cdaa41.rmeta: crates/linalg/src/lib.rs crates/linalg/src/bidiag_svd.rs crates/linalg/src/cholesky.rs crates/linalg/src/gemm.rs crates/linalg/src/generate.rs crates/linalg/src/givens.rs crates/linalg/src/householder.rs crates/linalg/src/lowp.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/verify.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/bidiag_svd.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/gemm.rs:
+crates/linalg/src/generate.rs:
+crates/linalg/src/givens.rs:
+crates/linalg/src/householder.rs:
+crates/linalg/src/lowp.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

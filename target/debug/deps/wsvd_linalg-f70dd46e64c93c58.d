@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/wsvd_linalg-f70dd46e64c93c58.d: crates/linalg/src/lib.rs crates/linalg/src/bidiag_svd.rs crates/linalg/src/cholesky.rs crates/linalg/src/gemm.rs crates/linalg/src/generate.rs crates/linalg/src/givens.rs crates/linalg/src/householder.rs crates/linalg/src/lowp.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/verify.rs
+
+/root/repo/target/debug/deps/libwsvd_linalg-f70dd46e64c93c58.rlib: crates/linalg/src/lib.rs crates/linalg/src/bidiag_svd.rs crates/linalg/src/cholesky.rs crates/linalg/src/gemm.rs crates/linalg/src/generate.rs crates/linalg/src/givens.rs crates/linalg/src/householder.rs crates/linalg/src/lowp.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/verify.rs
+
+/root/repo/target/debug/deps/libwsvd_linalg-f70dd46e64c93c58.rmeta: crates/linalg/src/lib.rs crates/linalg/src/bidiag_svd.rs crates/linalg/src/cholesky.rs crates/linalg/src/gemm.rs crates/linalg/src/generate.rs crates/linalg/src/givens.rs crates/linalg/src/householder.rs crates/linalg/src/lowp.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/verify.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/bidiag_svd.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/gemm.rs:
+crates/linalg/src/generate.rs:
+crates/linalg/src/givens.rs:
+crates/linalg/src/householder.rs:
+crates/linalg/src/lowp.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/verify.rs:

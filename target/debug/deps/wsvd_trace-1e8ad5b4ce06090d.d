@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsvd_trace-1e8ad5b4ce06090d.d: crates/trace/src/lib.rs
+
+/root/repo/target/debug/deps/wsvd_trace-1e8ad5b4ce06090d: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsvd_trace-27fd4ef61425082d.d: crates/trace/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_trace-27fd4ef61425082d.rlib: crates/trace/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_trace-27fd4ef61425082d.rmeta: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsvd_trace-a978e84950da8518.d: crates/trace/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_trace-a978e84950da8518.rlib: crates/trace/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_trace-a978e84950da8518.rmeta: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

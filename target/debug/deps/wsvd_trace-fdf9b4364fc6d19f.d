@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsvd_trace-fdf9b4364fc6d19f.d: crates/trace/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_trace-fdf9b4364fc6d19f.rmeta: crates/trace/src/lib.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_report-7603a3bf465b8835.d: examples/autotune_report.rs
+
+/root/repo/target/debug/examples/autotune_report-7603a3bf465b8835: examples/autotune_report.rs
+
+examples/autotune_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotune_report-c7a6071ec0336c14.d: examples/autotune_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotune_report-c7a6071ec0336c14.rmeta: examples/autotune_report.rs Cargo.toml
+
+examples/autotune_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

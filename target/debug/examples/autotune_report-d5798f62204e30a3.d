@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_report-d5798f62204e30a3.d: examples/autotune_report.rs
+
+/root/repo/target/debug/examples/autotune_report-d5798f62204e30a3: examples/autotune_report.rs
+
+examples/autotune_report.rs:

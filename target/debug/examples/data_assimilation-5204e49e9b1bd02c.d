@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_assimilation-5204e49e9b1bd02c.d: examples/data_assimilation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_assimilation-5204e49e9b1bd02c.rmeta: examples/data_assimilation.rs Cargo.toml
+
+examples/data_assimilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

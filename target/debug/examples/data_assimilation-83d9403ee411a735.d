@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_assimilation-83d9403ee411a735.d: examples/data_assimilation.rs
+
+/root/repo/target/debug/examples/data_assimilation-83d9403ee411a735: examples/data_assimilation.rs
+
+examples/data_assimilation.rs:

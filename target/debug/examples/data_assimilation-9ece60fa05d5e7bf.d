@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_assimilation-9ece60fa05d5e7bf.d: examples/data_assimilation.rs
+
+/root/repo/target/debug/examples/data_assimilation-9ece60fa05d5e7bf: examples/data_assimilation.rs
+
+examples/data_assimilation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_compression-35f729a52fb26438.d: examples/image_compression.rs
+
+/root/repo/target/debug/examples/image_compression-35f729a52fb26438: examples/image_compression.rs
+
+examples/image_compression.rs:

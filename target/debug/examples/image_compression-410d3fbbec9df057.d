@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_compression-410d3fbbec9df057.d: examples/image_compression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_compression-410d3fbbec9df057.rmeta: examples/image_compression.rs Cargo.toml
+
+examples/image_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_compression-72c12d1bf9855acb.d: examples/image_compression.rs
+
+/root/repo/target/debug/examples/image_compression-72c12d1bf9855acb: examples/image_compression.rs
+
+examples/image_compression.rs:

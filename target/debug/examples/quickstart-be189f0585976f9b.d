@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-be189f0585976f9b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-be189f0585976f9b: examples/quickstart.rs
+
+examples/quickstart.rs:

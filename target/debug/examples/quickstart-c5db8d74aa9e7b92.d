@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c5db8d74aa9e7b92.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c5db8d74aa9e7b92: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-e3e142f54640993c.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e3e142f54640993c.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/separable_filters-22abbf340f25cc6c.d: examples/separable_filters.rs
+
+/root/repo/target/debug/examples/separable_filters-22abbf340f25cc6c: examples/separable_filters.rs
+
+examples/separable_filters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/separable_filters-cab4ac55dbf9eb97.d: examples/separable_filters.rs
+
+/root/repo/target/debug/examples/separable_filters-cab4ac55dbf9eb97: examples/separable_filters.rs
+
+examples/separable_filters.rs:

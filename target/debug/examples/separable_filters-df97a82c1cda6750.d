@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/separable_filters-df97a82c1cda6750.d: examples/separable_filters.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseparable_filters-df97a82c1cda6750.rmeta: examples/separable_filters.rs Cargo.toml
+
+examples/separable_filters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libwsvd_trace.rlib: /root/repo/crates/trace/src/lib.rs /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde_derive/src/lib.rs /root/repo/vendor/serde_json/src/lib.rs

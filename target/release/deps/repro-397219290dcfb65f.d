@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-397219290dcfb65f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-397219290dcfb65f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

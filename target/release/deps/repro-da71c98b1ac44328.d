@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-da71c98b1ac44328.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-da71c98b1ac44328: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

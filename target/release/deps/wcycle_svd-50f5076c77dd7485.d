@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wcycle_svd-50f5076c77dd7485.d: src/lib.rs
+
+/root/repo/target/release/deps/wcycle_svd-50f5076c77dd7485: src/lib.rs
+
+src/lib.rs:

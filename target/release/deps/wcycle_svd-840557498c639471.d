@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wcycle_svd-840557498c639471.d: src/lib.rs
+
+/root/repo/target/release/deps/libwcycle_svd-840557498c639471.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwcycle_svd-840557498c639471.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wcycle_svd-da0b65b664a9fb10.d: src/lib.rs
+
+/root/repo/target/release/deps/libwcycle_svd-da0b65b664a9fb10.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwcycle_svd-da0b65b664a9fb10.rmeta: src/lib.rs
+
+src/lib.rs:

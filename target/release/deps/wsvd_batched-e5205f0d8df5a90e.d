@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsvd_batched-e5205f0d8df5a90e.d: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+/root/repo/target/release/deps/libwsvd_batched-e5205f0d8df5a90e.rlib: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+/root/repo/target/release/deps/libwsvd_batched-e5205f0d8df5a90e.rmeta: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+crates/batched/src/lib.rs:
+crates/batched/src/alpha.rs:
+crates/batched/src/autotune.rs:
+crates/batched/src/gemm.rs:
+crates/batched/src/models.rs:

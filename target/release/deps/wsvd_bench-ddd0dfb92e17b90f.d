@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wsvd_bench-ddd0dfb92e17b90f.d: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libwsvd_bench-ddd0dfb92e17b90f.rlib: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libwsvd_bench-ddd0dfb92e17b90f.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_apps.rs:
+crates/bench/src/exp_baselines.rs:
+crates/bench/src/exp_extensions.rs:
+crates/bench/src/exp_kernels.rs:
+crates/bench/src/exp_tailoring.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:

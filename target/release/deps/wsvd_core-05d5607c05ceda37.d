@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wsvd_core-05d5607c05ceda37.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/release/deps/libwsvd_core-05d5607c05ceda37.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/release/deps/libwsvd_core-05d5607c05ceda37.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/wcycle.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wsvd_core-252a683a4eb3af67.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/release/deps/libwsvd_core-252a683a4eb3af67.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+/root/repo/target/release/deps/libwsvd_core-252a683a4eb3af67.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/wcycle.rs:

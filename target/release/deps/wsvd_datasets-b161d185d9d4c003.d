@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsvd_datasets-b161d185d9d4c003.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/release/deps/libwsvd_datasets-b161d185d9d4c003.rlib: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/release/deps/libwsvd_datasets-b161d185d9d4c003.rmeta: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsvd_datasets-cb322ab6455b802b.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/release/deps/libwsvd_datasets-cb322ab6455b802b.rlib: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/release/deps/libwsvd_datasets-cb322ab6455b802b.rmeta: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:

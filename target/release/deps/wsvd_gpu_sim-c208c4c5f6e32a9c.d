@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wsvd_gpu_sim-c208c4c5f6e32a9c.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/smem.rs
+
+/root/repo/target/release/deps/libwsvd_gpu_sim-c208c4c5f6e32a9c.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/smem.rs
+
+/root/repo/target/release/deps/libwsvd_gpu_sim-c208c4c5f6e32a9c.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/smem.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cluster.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/smem.rs:

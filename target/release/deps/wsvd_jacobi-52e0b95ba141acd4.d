@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wsvd_jacobi-52e0b95ba141acd4.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+
+/root/repo/target/release/deps/libwsvd_jacobi-52e0b95ba141acd4.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+
+/root/repo/target/release/deps/libwsvd_jacobi-52e0b95ba141acd4.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+
+crates/jacobi/src/lib.rs:
+crates/jacobi/src/batch.rs:
+crates/jacobi/src/evd.rs:
+crates/jacobi/src/fits.rs:
+crates/jacobi/src/onesided.rs:
+crates/jacobi/src/ordering.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wsvd_trace-012ffe6aab7a2942.d: crates/trace/src/lib.rs
+
+/root/repo/target/release/deps/libwsvd_trace-012ffe6aab7a2942.rlib: crates/trace/src/lib.rs
+
+/root/repo/target/release/deps/libwsvd_trace-012ffe6aab7a2942.rmeta: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

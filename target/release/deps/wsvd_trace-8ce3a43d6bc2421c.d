@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wsvd_trace-8ce3a43d6bc2421c.d: crates/trace/src/lib.rs
+
+/root/repo/target/release/deps/libwsvd_trace-8ce3a43d6bc2421c.rlib: crates/trace/src/lib.rs
+
+/root/repo/target/release/deps/libwsvd_trace-8ce3a43d6bc2421c.rmeta: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

@@ -13,7 +13,10 @@ use wcycle_svd::{wcycle_svd, WCycleConfig};
 fn assert_close(got: &[f64], want: &[f64], tol: f64, engine: &str) {
     assert_eq!(got.len(), want.len(), "{engine}: wrong count");
     for (k, (g, w)) in got.iter().zip(want).enumerate() {
-        assert!((g - w).abs() < tol * (1.0 + w), "{engine}: sigma[{k}] {g} vs {w}");
+        assert!(
+            (g - w).abs() < tol * (1.0 + w),
+            "{engine}: sigma[{k}] {g} vs {w}"
+        );
     }
 }
 
@@ -61,7 +64,10 @@ fn simulated_time_ordering_is_paper_consistent() {
         cusolver_batched_svd(g, &mats).unwrap();
     });
     assert!(wc < mg, "W-cycle ({wc}) must beat MAGMA ({mg})");
-    assert!(mg < cu, "MAGMA ({mg}) must beat the serial cuSOLVER loop ({cu})");
+    assert!(
+        mg < cu,
+        "MAGMA ({mg}) must beat the serial cuSOLVER loop ({cu})"
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@ fn assert_valid_svd(a: &Matrix, r: &WSvd, tol: f64) {
     let want = singular_values(a).expect("reference SVD");
     assert_eq!(r.sigma.len(), want.len());
     for (k, (g, w)) in r.sigma.iter().zip(&want).enumerate() {
-        assert!((g - w).abs() < tol * (1.0 + w), "sigma[{k}] = {g}, reference {w}");
+        assert!(
+            (g - w).abs() < tol * (1.0 + w),
+            "sigma[{k}] = {g}, reference {w}"
+        );
     }
     assert!(orthonormality_error(&r.u) < 1e-8);
     if let Some(v) = &r.v {
@@ -29,7 +32,10 @@ fn assert_valid_svd(a: &Matrix, r: &WSvd, tol: f64) {
         let vthin = Matrix::from_fn(a.cols(), rank, |i, j| v[(i, j)]);
         let rec = matmul(&us, &vthin.transpose());
         let denom = a.fro_norm().max(1e-300);
-        assert!(rec.sub(a).fro_norm() / denom < 1e-8, "reconstruction failed");
+        assert!(
+            rec.sub(a).fro_norm() / denom < 1e-8,
+            "reconstruction failed"
+        );
     }
 }
 
@@ -47,7 +53,14 @@ fn sizes_across_the_level0_boundary() {
 #[test]
 fn extreme_aspect_ratios() {
     let gpu = Gpu::new(V100);
-    for (m, n) in [(200usize, 3usize), (3, 200), (150, 40), (40, 150), (1, 17), (17, 1)] {
+    for (m, n) in [
+        (200usize, 3usize),
+        (3, 200),
+        (150, 40),
+        (40, 150),
+        (1, 17),
+        (17, 1),
+    ] {
         let a = random_uniform(m, n, (m * 1000 + n) as u64);
         let out = wcycle_svd(&gpu, std::slice::from_ref(&a), &WCycleConfig::default()).unwrap();
         assert_valid_svd(&a, &out.results[0], 1e-8);
@@ -88,7 +101,11 @@ fn every_device_produces_identical_numerics() {
         let gpu = Gpu::new(device);
         let out = wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
         spectra.push(out.results[0].sigma.clone());
-        assert!(gpu.elapsed_seconds() > 0.0, "{}: no time recorded", device.name);
+        assert!(
+            gpu.elapsed_seconds() > 0.0,
+            "{}: no time recorded",
+            device.name
+        );
     }
     for s in &spectra[1..] {
         for (a, b) in s.iter().zip(&spectra[0]) {
@@ -104,14 +121,38 @@ fn config_matrix_all_converge() {
     let a = random_uniform(90, 90, 13);
     let configs = vec![
         WCycleConfig::default(),
-        WCycleConfig { tailor_gemm: false, ..Default::default() },
-        WCycleConfig { cache_norms: false, ..Default::default() },
-        WCycleConfig { want_v: false, ..Default::default() },
-        WCycleConfig { alpha: AlphaSelect::Fixed(4), ..Default::default() },
-        WCycleConfig { alpha: AlphaSelect::Fixed(32), ..Default::default() },
-        WCycleConfig { tuning: Tuning::Widths(vec![8]), ..Default::default() },
-        WCycleConfig { tuning: Tuning::Widths(vec![45, 16]), ..Default::default() },
-        WCycleConfig { ordering: wcycle_svd::jacobi::Ordering::OddEven, ..Default::default() },
+        WCycleConfig {
+            tailor_gemm: false,
+            ..Default::default()
+        },
+        WCycleConfig {
+            cache_norms: false,
+            ..Default::default()
+        },
+        WCycleConfig {
+            want_v: false,
+            ..Default::default()
+        },
+        WCycleConfig {
+            alpha: AlphaSelect::Fixed(4),
+            ..Default::default()
+        },
+        WCycleConfig {
+            alpha: AlphaSelect::Fixed(32),
+            ..Default::default()
+        },
+        WCycleConfig {
+            tuning: Tuning::Widths(vec![8]),
+            ..Default::default()
+        },
+        WCycleConfig {
+            tuning: Tuning::Widths(vec![45, 16]),
+            ..Default::default()
+        },
+        WCycleConfig {
+            ordering: wcycle_svd::jacobi::Ordering::OddEven,
+            ..Default::default()
+        },
     ];
     let want = singular_values(&a).unwrap();
     for (k, cfg) in configs.iter().enumerate() {
@@ -156,7 +197,13 @@ fn deterministic_across_runs() {
     let run = || {
         let gpu = Gpu::new(V100);
         let out = wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
-        (out.results.iter().map(|r| r.sigma.clone()).collect::<Vec<_>>(), gpu.elapsed_seconds())
+        (
+            out.results
+                .iter()
+                .map(|r| r.sigma.clone())
+                .collect::<Vec<_>>(),
+            gpu.elapsed_seconds(),
+        )
     };
     let (s1, t1) = run();
     let (s2, t2) = run();

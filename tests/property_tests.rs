@@ -16,9 +16,8 @@ use wcycle_svd::linalg::{singular_values, Matrix};
 use wcycle_svd::{wcycle_svd, WCycleConfig};
 
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(m, n, seed)| {
-        wcycle_svd::linalg::generate::random_uniform(m, n, seed)
-    })
+    (1..=max_dim, 1..=max_dim, any::<u64>())
+        .prop_map(|(m, n, seed)| wcycle_svd::linalg::generate::random_uniform(m, n, seed))
 }
 
 proptest! {
@@ -154,9 +153,13 @@ proptest! {
         let mut covered: Vec<Vec<bool>> = rows.iter().map(|&m| vec![false; m]).collect();
         for block in &blocks {
             for seg in block {
-                for r in seg.row_start..seg.row_start + seg.rows {
-                    prop_assert!(!covered[seg.gemm][r], "row covered twice");
-                    covered[seg.gemm][r] = true;
+                for row in covered[seg.gemm]
+                    .iter_mut()
+                    .skip(seg.row_start)
+                    .take(seg.rows)
+                {
+                    prop_assert!(!*row, "row covered twice");
+                    *row = true;
                 }
             }
         }

@@ -1,0 +1,155 @@
+//! Cross-layer trace integration: a real W-cycle workload drives the
+//! simulator with an enabled sink, and the exported timeline must be
+//! (a) valid Chrome trace-event JSON with sane per-track timestamps,
+//! (b) consistent with the `Profiler`'s per-kernel accounting, and
+//! (c) byte-identical across repeated seeded runs.
+
+use std::collections::BTreeMap;
+
+use wsvd_core::{wcycle_svd, WCycleConfig};
+use wsvd_gpu_sim::{Gpu, V100};
+use wsvd_linalg::generate::random_batch;
+use wsvd_trace::{chrome_trace_json, ArgValue, Event, EventKind, TraceSink};
+
+/// Mixed batch: three level-0 matrices plus one that descends the W-cycle,
+/// so the trace exercises kernel spans, sweep instants and plan events.
+fn traced_workload() -> (Gpu, TraceSink) {
+    let sink = TraceSink::enabled();
+    let gpu = Gpu::with_trace(V100, sink.clone());
+    let mut mats = random_batch(3, 24, 24, 7);
+    mats.extend(random_batch(1, 96, 96, 9));
+    wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+    (gpu, sink)
+}
+
+fn span_bounds(e: &Event) -> Option<(f64, f64)> {
+    match e.kind {
+        EventKind::Span { start, dur } => Some((start, start + dur)),
+        _ => None,
+    }
+}
+
+#[test]
+fn chrome_export_reparses_with_serde_json() {
+    let (_gpu, sink) = traced_workload();
+    let json = chrome_trace_json(&sink.events(), &sink.processes());
+    let v: serde_json::Value = serde_json::from_str(&json).expect("exporter must emit valid JSON");
+    let evs = v
+        .get("traceEvents")
+        .and_then(|e| e.as_seq())
+        .expect("traceEvents array");
+    assert!(
+        evs.len() > 20,
+        "expected a non-trivial trace, got {} events",
+        evs.len()
+    );
+    for e in evs {
+        let ph = e
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .expect("every event has ph");
+        assert!(matches!(ph, "X" | "i" | "C" | "M"), "unexpected phase {ph}");
+        assert!(e.get("name").and_then(|n| n.as_str()).is_some());
+        if ph != "M" {
+            let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts present");
+            assert!(ts.is_finite() && ts >= 0.0, "ts {ts} out of range");
+        }
+        if ph == "X" {
+            let dur = e.get("dur").and_then(|d| d.as_f64()).expect("dur present");
+            assert!(dur.is_finite() && dur >= 0.0, "dur {dur} out of range");
+        }
+    }
+}
+
+#[test]
+fn span_timestamps_are_monotone_per_track() {
+    let (_gpu, sink) = traced_workload();
+    let events = sink.events();
+    let mut lanes: BTreeMap<(u32, &str), Vec<(f64, f64)>> = BTreeMap::new();
+    for e in &events {
+        if let Some(b) = span_bounds(e) {
+            lanes.entry((e.pid, e.track.as_str())).or_default().push(b);
+        }
+    }
+    assert!(lanes.keys().any(|(_, t)| *t == "kernels"));
+    for ((pid, track), spans) in lanes {
+        if track == "wcycle" {
+            // Recursion spans nest (the W shape): any two either disjoint
+            // or one inside the other, never partially overlapping.
+            for (i, &(s1, e1)) in spans.iter().enumerate() {
+                for &(s2, e2) in &spans[i + 1..] {
+                    let disjoint = e1 <= s2 || e2 <= s1;
+                    let nested = (s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2);
+                    assert!(
+                        disjoint || nested,
+                        "wcycle spans partially overlap: [{s1}, {e1}] vs [{s2}, {e2}]"
+                    );
+                }
+            }
+        } else {
+            // Launch-ordered lanes never run backwards or overlap.
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-15,
+                    "track {track} (pid {pid}) overlaps: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_kernel_totals_match_profiler() {
+    let (gpu, sink) = traced_workload();
+    // Per-launch kernel spans cover the kernel body; the launch-overhead
+    // arg completes the Profiler's kernel+overhead accounting.
+    let mut totals: BTreeMap<String, f64> = BTreeMap::new();
+    let mut launches: BTreeMap<String, u64> = BTreeMap::new();
+    for e in sink.events().iter().filter(|e| e.track == "kernels") {
+        if let EventKind::Span { dur, .. } = e.kind {
+            let overhead = e
+                .args
+                .iter()
+                .find_map(|(k, v)| match (k, v) {
+                    (&"launch_overhead_s", ArgValue::F64(x)) => Some(*x),
+                    _ => None,
+                })
+                .expect("kernel spans carry launch_overhead_s");
+            *totals.entry(e.name.clone()).or_insert(0.0) += dur + overhead;
+            *launches.entry(e.name.clone()).or_insert(0) += 1;
+        }
+    }
+    let profile = gpu.profile();
+    let mut labels = 0usize;
+    for (label, k) in profile.iter() {
+        let t = totals.get(label).copied().unwrap_or(0.0);
+        assert!(
+            (t - k.seconds).abs() <= 1e-12 * k.seconds.max(1e-30),
+            "label {label}: trace total {t} vs profiler {}",
+            k.seconds
+        );
+        assert_eq!(
+            launches.get(label).copied().unwrap_or(0),
+            k.launches,
+            "label {label}"
+        );
+        labels += 1;
+    }
+    assert!(labels >= 3, "expected several kernel labels, got {labels}");
+    assert_eq!(
+        totals.len(),
+        labels,
+        "trace saw labels the profiler did not"
+    );
+}
+
+#[test]
+fn repeated_seeded_runs_export_identical_traces() {
+    let export = || {
+        let (_gpu, sink) = traced_workload();
+        chrome_trace_json(&sink.events(), &sink.processes())
+    };
+    assert_eq!(export(), export(), "seeded traces must be byte-identical");
+}

@@ -1,0 +1,379 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the strategy forms used by this workspace's property tests:
+//! integer/float ranges, `any::<T>()`, tuples (2–4), `prop_map`,
+//! `prop::collection::vec`, plus the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!` and `prop_assume!` macros. Each test runs
+//! `ProptestConfig::cases` iterations with an RNG seeded from the test name,
+//! so failures are reproducible run-to-run. No shrinking: the failing input
+//! is printed as-is via the assertion message.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration (`cases` is the only knob this shim honours).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to execute per test.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: discard this input and draw another.
+    Reject(String),
+}
+
+/// Executes one property test: draws inputs and evaluates the body until
+/// `config.cases` accepted cases pass, panicking on the first failure.
+pub fn run_prop_test<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name: stable seed, distinct per test.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{name}: gave up after {rejected} prop_assume! rejections \
+                         ({accepted}/{} cases accepted)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property falsified on case {accepted}: {msg}");
+            }
+        }
+    }
+}
+
+/// A source of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps drawn values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(usize, u64, u32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen()
+    }
+}
+
+/// Strategy for any value of `T` (`any::<u64>()` and friends).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Creates the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+
+        /// Strategy for `Vec`s whose length is drawn from `len` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+                let n = self.len.sample(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Declares property tests. Mirrors upstream's
+/// `proptest! { #![proptest_config(...)] #[test] fn name(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::run_prop_test(stringify!($name), config, |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a property within `proptest!`; failure reports the case instead
+/// of unwinding through user code.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality within `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            v in (1usize..5, 1usize..5, any::<u64>()).prop_map(|(a, b, s)| a * 100 + b + (s % 2) as usize)
+        ) {
+            prop_assert!(v >= 101);
+            prop_assert!(v < 505, "v = {}", v);
+        }
+
+        #[test]
+        fn collection_vec_respects_len(xs in prop::collection::vec(-1.0f64..1.0, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let draw_all = || {
+            let mut out = Vec::new();
+            crate::run_prop_test(
+                "runner_is_deterministic",
+                ProptestConfig {
+                    cases: 10,
+                    ..ProptestConfig::default()
+                },
+                |rng| {
+                    out.push(Strategy::sample(&(0u64..1000), rng));
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(draw_all(), draw_all());
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic_with_context() {
+        crate::run_prop_test(
+            "failures_panic_with_context",
+            ProptestConfig {
+                cases: 4,
+                ..ProptestConfig::default()
+            },
+            |_| Err(crate::TestCaseError::Fail("nope".into())),
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! tiny subset of `rand` it actually uses: a seedable deterministic generator
+//! (`rngs::StdRng`), `SeedableRng::seed_from_u64`, and `Rng::{gen,
+//! gen_range}` over the range types that appear in this repository.
+//!
+//! The bit stream is splitmix64 — *not* the upstream `StdRng` stream — but
+//! every generator in the workspace is seeded, so results remain fully
+//! deterministic run-to-run (which is all the simulator requires).
+
+#![warn(missing_docs)]
+
+/// Seedable generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea, Flood 2014): passes BigCrush, one u64 of
+        // state, and trivially seedable — ideal for a deterministic shim.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range");
+                let width = (end - start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(usize, u64, u32, i64);
+
+/// Values `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The sampling surface of `rand::Rng` used by this workspace.
+pub trait Rng {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_inclusive_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The simulator uses exactly two parallel pipelines:
+//!
+//! * `slice.par_iter_mut().enumerate().map(f).collect::<Vec<_>>()`
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//!
+//! This shim reproduces those pipelines on `std::thread::scope`, splitting
+//! the work into one contiguous chunk per available core. Outputs are
+//! reassembled in input order, so results are identical to sequential
+//! execution (and to upstream rayon) — the parallelism is pure wall-clock.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads to use for a job of `len` items.
+fn workers(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Splits `len` items into `parts` contiguous chunk lengths (ragged tail
+/// spread over the leading chunks).
+fn chunk_lens(len: usize, parts: usize) -> Vec<usize> {
+    let base = len / parts;
+    let extra = len % parts;
+    (0..parts).map(|k| base + usize::from(k < extra)).collect()
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Extension trait providing `par_iter_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references, in order.
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// Conversion into a parallel iterator (ranges only, in this shim).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// Parallel iterator over a mutable slice.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> SliceEnumerate<'a, T> {
+        SliceEnumerate { slice: self.slice }
+    }
+}
+
+/// Enumerated parallel iterator over a mutable slice.
+pub struct SliceEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceEnumerate<'a, T> {
+    /// Applies `f` to every `(index, &mut element)` pair.
+    pub fn map<R, F>(self, f: F) -> SliceEnumerateMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+    {
+        SliceEnumerateMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// Mapped, enumerated parallel iterator over a mutable slice.
+pub struct SliceEnumerateMap<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T, R, F> SliceEnumerateMap<'a, T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn((usize, &mut T)) -> R + Sync,
+{
+    /// Executes the pipeline and collects outputs in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let len = self.slice.len();
+        let parts = workers(len);
+        let f = &self.f;
+        if parts <= 1 {
+            return self.slice.iter_mut().enumerate().map(f).collect();
+        }
+        let lens = chunk_lens(len, parts);
+        let mut outputs: Vec<Vec<R>> = Vec::with_capacity(parts);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(parts);
+            let mut rest = self.slice;
+            let mut offset = 0usize;
+            for &clen in &lens {
+                let (chunk, tail) = rest.split_at_mut(clen);
+                rest = tail;
+                let base = offset;
+                offset += clen;
+                handles.push(s.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(k, item)| f((base + k, item)))
+                        .collect::<Vec<R>>()
+                }));
+            }
+            for h in handles {
+                outputs.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl RangeIter {
+    /// Applies `f` to every index.
+    pub fn map<R, F>(self, f: F) -> RangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        RangeMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator over a range.
+pub struct RangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<R, F> RangeMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Executes the pipeline and collects outputs in index order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let len = self.range.len();
+        let parts = workers(len);
+        let f = &self.f;
+        if parts <= 1 {
+            return self.range.map(f).collect();
+        }
+        let lens = chunk_lens(len, parts);
+        let start = self.range.start;
+        let mut outputs: Vec<Vec<R>> = Vec::with_capacity(parts);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(parts);
+            let mut lo = start;
+            for &clen in &lens {
+                let sub = lo..lo + clen;
+                lo += clen;
+                handles.push(s.spawn(move || sub.map(f).collect::<Vec<R>>()));
+            }
+            for h in handles {
+                outputs.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_pipeline_preserves_order_and_mutates() {
+        let mut data = vec![0u64; 1000];
+        let out: Vec<u64> = data
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| {
+                *x = i as u64 * 2;
+                *x + 1
+            })
+            .collect();
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(*o, i as u64 * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn range_pipeline_preserves_order() {
+        let out: Vec<usize> = (10..500).into_par_iter().map(|b| b * b).collect();
+        assert_eq!(out.len(), 490);
+        for (k, v) in out.iter().enumerate() {
+            let b = k + 10;
+            assert_eq!(*v, b * b);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter_mut().enumerate().map(|(_, x)| *x).collect();
+        assert!(out.is_empty());
+        let out: Vec<usize> = (0..0).into_par_iter().map(|b| b * 2).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_lens_cover_exactly() {
+        assert_eq!(super::chunk_lens(10, 3), vec![4, 3, 3]);
+        assert_eq!(super::chunk_lens(2, 2), vec![1, 1]);
+        assert_eq!(super::chunk_lens(5, 1), vec![5]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs with
+//! named fields. The generated impls target the shim `serde` crate's
+//! value-based model (`to_value` / `from_value`) rather than upstream's
+//! visitor API, which lets this crate avoid `syn`/`quote` entirely: the
+//! struct is scanned with the bare `proc_macro` token API (only the field
+//! *names* matter — types are resolved by trait dispatch), and the impl is
+//! assembled as a string and re-parsed.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim: `fn to_value(&self) -> serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "m.push((::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f})));"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m = ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Map(m)\n\
+             }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (shim: `fn from_value(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::map_field(m, \"{f}\", \"{name}\")?)?,"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let m = v.as_map().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected JSON object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive shim: generated Deserialize impl must parse")
+}
+
+/// Extracts `(struct_name, field_names)` from a derive input. Panics (a
+/// compile error at the derive site) on enums, tuple structs, or generics —
+/// none of which this workspace serializes.
+fn parse_named_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => panic!("serde_derive shim supports only structs, got {other:?}"),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim does not support generic structs ({name})")
+            }
+            Some(_) => continue,
+            None => {
+                panic!("serde_derive shim: {name} has no braced field list (tuple/unit struct?)")
+            }
+        }
+    };
+    (name, field_names(body))
+}
+
+/// Splits a named-field body on top-level commas (tracking `<...>` nesting,
+/// which does not form token groups) and takes the ident before each `:`.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut flush = |current: &mut Vec<TokenTree>| {
+        if current.is_empty() {
+            return;
+        }
+        let mut iter = current.drain(..).peekable();
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("expected field name, got {other:?}"),
+        }
+    };
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                flush(&mut current);
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    flush(&mut current);
+    fields
+}
+
+/// Skips `#[...]` attribute pairs (doc comments arrive in this form too).
+fn skip_attributes<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next(); // '#'
+        tokens.next(); // '[...]'
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+fn skip_visibility<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
