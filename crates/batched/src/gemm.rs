@@ -14,7 +14,7 @@
 //!   rows exceed `1.2 δ_h`; Gram partials from the segments of one GEMM are
 //!   then reduced in a second kernel (Fig. 6).
 
-use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError, LaunchStats};
+use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError, LaunchStats, SmemRequirement};
 use wsvd_linalg::gemm::{gram, matmul};
 use wsvd_linalg::Matrix;
 
@@ -22,6 +22,19 @@ use crate::models::TailorPlan;
 
 /// Residual-packing headroom factor (§IV-D1, "an empirical parameter 1.2δ").
 const RESIDUAL_PACK_FACTOR: f64 = 1.2;
+
+/// Shared memory requested per GEMM block (double-buffered plate tiles).
+/// Exported so the static sanitizer can prove the GEMM stage of a plan fits
+/// the arena before launch.
+pub const GEMM_SMEM_BYTES: usize = 16 * 1024;
+
+/// The GEMM kernels' static shared-memory demand as a checkable artifact.
+pub fn gemm_smem_requirement() -> SmemRequirement {
+    SmemRequirement {
+        label: "batched GEMM tile buffers".to_string(),
+        bytes: GEMM_SMEM_BYTES,
+    }
+}
 
 /// How a batched GEMM is mapped onto thread blocks.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +101,78 @@ pub fn tailor_assignment(row_counts: &[usize], delta: usize) -> Vec<Vec<Segment>
     blocks
 }
 
+/// Statically verifies a tailored work assignment: every segment must lie
+/// inside its GEMM, and for each GEMM the segments (across all blocks) must
+/// tile its rows exactly — no overlap (a partial would be summed twice) and
+/// no gap (rows silently dropped from the product). Returns a description of
+/// the first defect found.
+pub fn verify_tailor_assignment(
+    row_counts: &[usize],
+    assignment: &[Vec<Segment>],
+) -> Result<(), String> {
+    let mut ranges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); row_counts.len()];
+    for (block, segs) in assignment.iter().enumerate() {
+        for seg in segs {
+            if seg.gemm >= row_counts.len() {
+                return Err(format!(
+                    "block {block}: segment references GEMM {} but only {} exist",
+                    seg.gemm,
+                    row_counts.len()
+                ));
+            }
+            let m = row_counts[seg.gemm];
+            if seg.rows == 0 || seg.row_start + seg.rows > m {
+                return Err(format!(
+                    "block {block}: rows [{}, {}) out of range for GEMM {} with {m} rows",
+                    seg.row_start,
+                    seg.row_start + seg.rows,
+                    seg.gemm
+                ));
+            }
+            ranges[seg.gemm].push((seg.row_start, seg.row_start + seg.rows));
+        }
+    }
+    for (g, mut rs) in ranges.into_iter().enumerate() {
+        rs.sort_unstable();
+        let mut next = 0usize;
+        for (start, end) in rs {
+            if start < next {
+                return Err(format!(
+                    "GEMM {g}: rows [{start}, {next}) assigned to two blocks (partial counted twice)"
+                ));
+            }
+            if start > next {
+                return Err(format!("GEMM {g}: rows [{next}, {start}) unassigned"));
+            }
+            next = end;
+        }
+        if next != row_counts[g] {
+            return Err(format!(
+                "GEMM {g}: rows [{next}, {}) unassigned",
+                row_counts[g]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs [`verify_tailor_assignment`] when the GPU sanitizes, converting a
+/// defect into a launch-refusing [`KernelError`].
+fn check_assignment(
+    gpu: &Gpu,
+    row_counts: &[usize],
+    assignment: &[Vec<Segment>],
+) -> Result<(), KernelError> {
+    if gpu.sanitize_enabled() {
+        verify_tailor_assignment(row_counts, assignment).map_err(|e| {
+            KernelError::Other(format!(
+                "wsvd-sanitizer: tailored GEMM assignment invalid: {e}"
+            ))
+        })?;
+    }
+    Ok(())
+}
+
 /// Batched Gram products `B_k = A_k^T A_k`.
 ///
 /// Returns one `n_k x n_k` Gram matrix per input block plus the launch
@@ -112,6 +197,7 @@ pub fn batched_gram(
         GemmStrategy::Tailored(plan) => {
             let rows: Vec<usize> = blocks.iter().map(|b| b.rows()).collect();
             let assignment = tailor_assignment(&rows, plan.delta);
+            check_assignment(gpu, &rows, &assignment)?;
             // When δ >= every row count, each GEMM is exactly one segment:
             // no partials exist and the reduction launch is skipped.
             let single_segment = assignment
@@ -198,6 +284,7 @@ pub fn batched_update(
         GemmStrategy::Tailored(plan) => {
             let rows: Vec<usize> = blocks.iter().map(|b| b.rows()).collect();
             let assignment = tailor_assignment(&rows, plan.delta);
+            check_assignment(gpu, &rows, &assignment)?;
             let kc = gemm_cfg(gpu, assignment.len(), plan.threads, "tailored_update");
             let (updated, stats) = gpu.launch_collect(kc, |b, ctx| {
                 let mut out = Vec::with_capacity(assignment[b].len());
@@ -225,7 +312,7 @@ pub fn batched_update(
 }
 
 fn gemm_cfg(gpu: &Gpu, grid: usize, threads: usize, label: &'static str) -> KernelConfig {
-    let mut kc = KernelConfig::new(grid, threads, 16 * 1024, label);
+    let mut kc = KernelConfig::new(grid, threads, GEMM_SMEM_BYTES, label);
     kc.uses_tensor_cores = gpu.device().tensor_gemm_speedup > 1.0;
     kc
 }
@@ -293,6 +380,77 @@ mod tests {
     fn tailor_assignment_delta_at_least_rows_gives_one_block_per_gemm() {
         let a = tailor_assignment(&[64, 64], 64);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn tailor_assignments_verify_clean() {
+        for (rows, delta) in [
+            (vec![100usize], 32usize),
+            (vec![40, 40, 40, 40], 32),
+            (vec![64, 64], 64),
+            (vec![33, 64, 7], 16),
+            (vec![1, 2, 3], 1),
+        ] {
+            let a = tailor_assignment(&rows, delta);
+            verify_tailor_assignment(&rows, &a)
+                .unwrap_or_else(|e| panic!("rows={rows:?} delta={delta}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corrupted_assignments_rejected() {
+        let rows = [64usize];
+        let mut a = tailor_assignment(&rows, 32);
+        // Overlap: duplicate the first segment.
+        let dup = a[0][0];
+        a.push(vec![dup]);
+        assert!(verify_tailor_assignment(&rows, &a)
+            .unwrap_err()
+            .contains("two blocks"));
+        // Gap: drop a segment entirely.
+        let mut b = tailor_assignment(&rows, 32);
+        b.remove(0);
+        assert!(verify_tailor_assignment(&rows, &b)
+            .unwrap_err()
+            .contains("unassigned"));
+        // Out of range.
+        let c = vec![vec![Segment {
+            gemm: 0,
+            row_start: 60,
+            rows: 10,
+        }]];
+        assert!(verify_tailor_assignment(&rows, &c)
+            .unwrap_err()
+            .contains("out of range"));
+        // Dangling GEMM index.
+        let d = vec![vec![Segment {
+            gemm: 3,
+            row_start: 0,
+            rows: 8,
+        }]];
+        assert!(verify_tailor_assignment(&rows, &d).is_err());
+    }
+
+    #[test]
+    fn sanitized_gpu_refuses_corrupt_assignment_path() {
+        // The shipped tailor_assignment is correct, so the sanitized launch
+        // succeeds and matches the unsanitized result.
+        let gpu = Gpu::with_sanitize(V100, wsvd_gpu_sim::SanitizeMode::Full);
+        let blocks = random_batch(3, 50, 8, 17);
+        let (grams, _) = batched_gram(&gpu, &blocks, plan(4, 16)).unwrap();
+        for (a, g) in blocks.iter().zip(&grams) {
+            assert!(g.sub(&wsvd_linalg::gram(a)).max_abs() < 1e-12);
+        }
+        assert!(gpu.sanitizer_report().is_clean());
+    }
+
+    #[test]
+    fn gemm_requirement_fits_every_device() {
+        let req = gemm_smem_requirement();
+        assert_eq!(req.bytes, GEMM_SMEM_BYTES);
+        for d in wsvd_gpu_sim::ALL_DEVICES {
+            assert!(req.fits(d.smem_per_block_bytes), "{}", d.name);
+        }
     }
 
     #[test]

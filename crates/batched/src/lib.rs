@@ -20,5 +20,8 @@ pub use autotune::{
     auto_tune, auto_tune_with_w_cap, auto_tune_with_w_cap_traced, calibrate_threshold,
     candidate_plans, scored_candidates, V100_TLP_THRESHOLD,
 };
-pub use gemm::{batched_gram, batched_update, tailor_assignment, GemmStrategy, Segment};
+pub use gemm::{
+    batched_gram, batched_update, gemm_smem_requirement, tailor_assignment,
+    verify_tailor_assignment, GemmStrategy, Segment, GEMM_SMEM_BYTES,
+};
 pub use models::{ai_gram, ai_update, tlp, TailorPlan};

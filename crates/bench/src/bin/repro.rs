@@ -6,12 +6,18 @@
 //!   repro <id> [<id> ...] [--scale reduced|full] [--json DIR] [--trace FILE]
 //!   repro --all [--scale reduced|full] [--json DIR] [--trace FILE]
 //!   repro --check DIR [<id> ...]     # regression-compare against stored JSON
+//!   repro --sanitize [<id> ...]      # run under the wsvd-sanitizer (default: fig7)
 //! ```
 //!
 //! `--trace FILE` records every simulated kernel launch, W-cycle sweep and
 //! auto-tuner decision, writes a Chrome trace-event JSON timeline to FILE
 //! (load it at <https://ui.perfetto.dev>) and prints a flame summary to
 //! stderr.
+//!
+//! `--sanitize` turns on full dynamic hazard tracking (lane-level shared
+//! memory races, barrier divergence, leaked buffers) and static schedule /
+//! shared-memory verification for every simulated launch, then exits
+//! non-zero if any violation was reported. Equivalent to `WSVD_SANITIZE=1`.
 
 use std::io::Write;
 use wsvd_bench::{all_experiments, Report, Scale};
@@ -24,6 +30,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
+    let mut sanitize = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -44,7 +51,16 @@ fn main() {
             "--json" => json_dir = Some(it.next().expect("--json needs a directory")),
             "--check" => check_dir = Some(it.next().expect("--check needs a directory")),
             "--trace" => trace_path = Some(it.next().expect("--trace needs a file")),
+            "--sanitize" => sanitize = true,
             other => ids.push(other.to_string()),
+        }
+    }
+    // Like the trace sink, the sanitize mode must be set before the first
+    // `Gpu` is constructed — every later GPU resolves it at build time.
+    if sanitize {
+        wsvd_gpu_sim::sanitize::set_global(wsvd_gpu_sim::SanitizeMode::Full);
+        if ids.is_empty() && !run_all && check_dir.is_none() {
+            ids.push("fig7".to_string());
         }
     }
     // The sink must be installed before any experiment constructs a `Gpu`,
@@ -139,4 +155,15 @@ fn main() {
         }
     }
     dump_trace(&trace_sink);
+    if sanitize {
+        let v = wsvd_gpu_sim::sanitize::global_violation_count();
+        if v > 0 {
+            eprintln!("wsvd-sanitizer: {v} violation(s) detected");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wsvd-sanitizer: clean — {} experiment(s) ran under full hazard checking",
+            ids.len()
+        );
+    }
 }

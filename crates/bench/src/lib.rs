@@ -51,5 +51,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-lowp", exp_extensions::ext_lowp),
         ("ext-profile", exp_extensions::ext_profile),
         ("ext-trace", exp_extensions::ext_trace),
+        ("ext-sanitize", exp_extensions::ext_sanitize),
     ]
 }

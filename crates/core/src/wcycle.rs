@@ -30,6 +30,8 @@ use wsvd_linalg::Matrix;
 
 use crate::config::{AlphaSelect, Tuning, WCycleConfig};
 use crate::stats::WCycleStats;
+use crate::verify::{effective_width, verify_level};
+use wsvd_jacobi::verify::{verify_schedule, Coverage};
 
 /// The SVD of one input matrix as produced by the W-cycle.
 #[derive(Debug)]
@@ -359,6 +361,31 @@ fn decompose_level(
     let trace = gpu.trace().clone();
     let traced = trace.is_enabled();
     let level_t0 = gpu.elapsed_seconds();
+    let sanitizing = gpu.sanitize_enabled();
+    if sanitizing {
+        // Static half of the wsvd-sanitizer: prove the selected plan's
+        // schedules and shared-memory working sets sound before any launch.
+        let check = verify_level(&sizes, &plan, cfg.ordering, smem).map_err(|e| {
+            KernelError::Other(format!(
+                "wsvd-sanitizer: static verification failed at level {level}: {e}"
+            ))
+        })?;
+        if traced {
+            trace.instant(
+                gpu.trace_pid(),
+                "sanitizer",
+                "static-check",
+                level_t0,
+                vec![
+                    ("level", level.into()),
+                    ("tasks", sizes.len().into()),
+                    ("proofs", check.proofs.len().into()),
+                    ("smem_requirements", check.requirements.len().into()),
+                    ("recursing_shapes", check.recursing_shapes.into()),
+                ],
+            );
+        }
+    }
     let strategy = if cfg.tailor_gemm {
         GemmStrategy::Tailored(plan)
     } else {
@@ -375,11 +402,7 @@ fn decompose_level(
         .iter()
         .map(|t| {
             let (m, n) = t.shape();
-            let mut w = plan.w.min(n / 2).max(1);
-            if 2 * w >= n && !svd_fits_in_sm(m, n, smem) && !evd_fits_in_sm(n, smem) {
-                w = (n / 4).max(1);
-            }
-            partition_cols(n, w)
+            partition_cols(n, effective_width(m, n, plan.w, smem))
         })
         .collect();
 
@@ -411,6 +434,21 @@ fn decompose_level(
                 }
             })
             .collect();
+        if sanitizing && cfg.dynamic_ordering {
+            // Dynamically generated sweeps carry no static proof; check each
+            // one before its rotations launch.
+            for (t, sched) in schedules.iter().enumerate() {
+                if sched.is_empty() {
+                    continue;
+                }
+                verify_schedule(sched, parts[t].len(), Coverage::ExactlyOnce).map_err(|e| {
+                    KernelError::Other(format!(
+                        "wsvd-sanitizer: dynamic schedule invalid at level {level}, \
+                         sweep {round}, task {t}: {e}"
+                    ))
+                })?;
+            }
+        }
         let max_steps = schedules.iter().map(|s| s.len()).max().unwrap_or(0);
 
         for step in 0..max_steps {
@@ -1346,6 +1384,35 @@ mod tests {
         let mats = random_batch(1, 100, 100, 2);
         wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
         assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn sanitized_wcycle_is_clean_and_numerically_identical() {
+        use wsvd_gpu_sim::SanitizeMode;
+        let a = random_uniform(100, 100, 2);
+        let plain = run(std::slice::from_ref(&a), &WCycleConfig::default());
+        let gpu = Gpu::with_sanitize(V100, SanitizeMode::Full);
+        let out = wcycle_svd(&gpu, std::slice::from_ref(&a), &WCycleConfig::default()).unwrap();
+        let report = gpu.sanitizer_report();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.stats.blocks_checked > 0, "sanitizer must have run");
+        for (x, y) in plain.results[0].sigma.iter().zip(&out.results[0].sigma) {
+            assert_eq!(x, y, "sanitizing must not perturb numerics");
+        }
+    }
+
+    #[test]
+    fn sanitized_dynamic_ordering_verifies_every_sweep() {
+        use wsvd_gpu_sim::SanitizeMode;
+        let a = random_uniform(90, 90, 41);
+        let cfg = WCycleConfig {
+            dynamic_ordering: true,
+            ..Default::default()
+        };
+        let gpu = Gpu::with_sanitize(V100, SanitizeMode::Full);
+        let out = wcycle_svd(&gpu, std::slice::from_ref(&a), &cfg).unwrap();
+        assert!(gpu.sanitizer_report().is_clean());
+        check_svd(&a, &out.results[0], 1e-8);
     }
 
     #[test]

@@ -18,6 +18,9 @@ use wsvd_trace::TraceSink;
 use crate::counters::{BlockCounters, LaunchStats, Timeline};
 use crate::device::DeviceSpec;
 use crate::profile::Profiler;
+use crate::sanitize::{
+    bump_global_violations, BlockSanitizeOutcome, HazardTracker, SanitizeMode, SanitizerReport,
+};
 use crate::smem::{SharedMem, SmemBuf, SmemOverflow};
 
 /// Per-block fixed cost (scheduling, prologue/epilogue), in cycles.
@@ -68,10 +71,12 @@ pub struct KernelConfig {
     pub uses_tensor_cores: bool,
     /// Human-readable kernel name for diagnostics.
     pub label: &'static str,
+    /// Per-launch sanitizer override: `None` inherits the GPU's mode.
+    pub sanitize: Option<SanitizeMode>,
 }
 
 impl KernelConfig {
-    /// Convenience constructor with no tensor cores.
+    /// Convenience constructor with no tensor cores and inherited sanitizing.
     pub fn new(
         grid: usize,
         threads_per_block: usize,
@@ -84,9 +89,14 @@ impl KernelConfig {
             smem_bytes_per_block,
             uses_tensor_cores: false,
             label,
+            sanitize: None,
         }
     }
 }
+
+/// What one retired block hands back to the launch machinery: its counters
+/// plus the sanitizer's findings (when enabled).
+type BlockOutput = (BlockCounters, Option<BlockSanitizeOutcome>);
 
 /// Execution context handed to each simulated thread block.
 pub struct BlockCtx {
@@ -95,16 +105,18 @@ pub struct BlockCtx {
     threads: usize,
     warp_size: usize,
     tx_bytes: usize,
+    sanitizer: Option<HazardTracker>,
 }
 
 impl BlockCtx {
-    fn new(device: &DeviceSpec, cfg: &KernelConfig) -> Self {
+    fn new(device: &DeviceSpec, cfg: &KernelConfig, sanitize: SanitizeMode) -> Self {
         Self {
             smem: SharedMem::new(cfg.smem_bytes_per_block),
             counters: BlockCounters::default(),
             threads: cfg.threads_per_block,
             warp_size: device.warp_size,
             tx_bytes: device.gm_transaction_bytes,
+            sanitizer: sanitize.is_on().then(HazardTracker::new),
         }
     }
 
@@ -133,27 +145,86 @@ impl BlockCtx {
         self.smem.alloc_from(src)
     }
 
+    /// The single accounting path for coalesced global-memory traffic of `n`
+    /// f64 elements: bytes, transactions, and span are all charged here so
+    /// loads and stores can never diverge (or double-count) in how they are
+    /// modelled.
+    fn count_gm(&mut self, n: usize, store: bool) {
+        let bytes = (n * 8) as u64;
+        if store {
+            self.counters.gm_store_bytes += bytes;
+        } else {
+            self.counters.gm_load_bytes += bytes;
+        }
+        self.counters.gm_transactions += bytes.div_ceil(self.tx_bytes as u64);
+        // The transfer is spread over the block's threads.
+        self.counters.span_cycles += (n as f64 / self.threads as f64).ceil();
+        if let Some(t) = self.sanitizer.as_mut() {
+            t.note_gm_op();
+        }
+    }
+
     /// Counts a coalesced global-memory load of `n` f64 elements.
     pub fn count_gm_load(&mut self, n: usize) {
-        let bytes = (n * 8) as u64;
-        self.counters.gm_load_bytes += bytes;
-        self.counters.gm_transactions += bytes.div_ceil(self.tx_bytes as u64);
-        // Loading is spread over the block's threads.
-        self.counters.span_cycles += (n as f64 / self.threads as f64).ceil();
+        self.count_gm(n, false);
     }
 
     /// Counts a coalesced global-memory store of `n` f64 elements.
     pub fn count_gm_store(&mut self, n: usize) {
-        let bytes = (n * 8) as u64;
-        self.counters.gm_store_bytes += bytes;
-        self.counters.gm_transactions += bytes.div_ceil(self.tx_bytes as u64);
-        self.counters.span_cycles += (n as f64 / self.threads as f64).ceil();
+        self.count_gm(n, true);
     }
 
     /// Copies SM data back to a global buffer, counting the store.
     pub fn gm_store_from_smem(&mut self, src: &[f64], dst: &mut [f64]) {
         dst.copy_from_slice(src);
         self.count_gm_store(src.len());
+    }
+
+    /// True when this block runs under the hazard sanitizer. Kernels may
+    /// consult this to skip building instrumentation-only metadata.
+    #[inline]
+    pub fn sanitizing(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Block-wide barrier (`__syncthreads()`): ends the current hazard epoch,
+    /// ordering every earlier shared-memory access before every later one.
+    /// Purely a correctness annotation — it adds **no** simulated cycles
+    /// (barrier latency is part of the per-step span models), so enabling the
+    /// sanitizer never changes timing or numerics.
+    #[inline]
+    pub fn sync_threads(&mut self) {
+        if let Some(t) = self.sanitizer.as_mut() {
+            t.barrier();
+        }
+    }
+
+    /// Records one logical lane arriving at a barrier. Kernels whose lanes
+    /// take divergent control flow call this per lane; the sanitizer reports
+    /// divergence if lanes end the block with different arrival counts.
+    #[inline]
+    pub fn lane_sync(&mut self, lane: usize) {
+        if let Some(t) = self.sanitizer.as_mut() {
+            t.lane_barrier(lane);
+        }
+    }
+
+    /// Records lane `lane` reading `buf[start..start + len]` in the current
+    /// hazard epoch. No-op unless sanitizing.
+    #[inline]
+    pub fn smem_read(&mut self, lane: usize, buf: &SmemBuf, start: usize, len: usize) {
+        if let Some(t) = self.sanitizer.as_mut() {
+            t.record_access(lane, buf.id(), start, len, false);
+        }
+    }
+
+    /// Records lane `lane` writing `buf[start..start + len]` in the current
+    /// hazard epoch. No-op unless sanitizing.
+    #[inline]
+    pub fn smem_write(&mut self, lane: usize, buf: &SmemBuf, start: usize, len: usize) {
+        if let Some(t) = self.sanitizer.as_mut() {
+            t.record_access(lane, buf.id(), start, len, true);
+        }
     }
 
     /// Records an element-wise parallel step over `items` work items, each
@@ -205,9 +276,13 @@ impl BlockCtx {
         self.counters.flops += flops;
     }
 
-    /// Snapshot of this block's counters (peak SM usage folded in).
-    fn into_counters(self) -> BlockCounters {
-        self.counters
+    /// Retires the block: returns its counters plus, when sanitizing, the
+    /// hazard tracker's findings (any bytes still charged to the arena at
+    /// this point were leaked by the kernel body).
+    fn into_parts(self) -> (BlockCounters, Option<BlockSanitizeOutcome>) {
+        let leaked = self.smem.used_bytes();
+        let outcome = self.sanitizer.map(|t| t.finish(leaked));
+        (self.counters, outcome)
     }
 }
 
@@ -218,6 +293,8 @@ pub struct Gpu {
     profiler: Mutex<Profiler>,
     trace: TraceSink,
     trace_pid: u32,
+    sanitize: SanitizeMode,
+    sanitizer: Mutex<SanitizerReport>,
 }
 
 impl Gpu {
@@ -236,7 +313,9 @@ impl Gpu {
     }
 
     /// Like [`Gpu::with_trace`], with an explicit trace process name (used
-    /// by [`crate::GpuCluster`] to label ranks).
+    /// by [`crate::GpuCluster`] to label ranks). Picks up the process-wide
+    /// sanitize default ([`SanitizeMode::resolved`]: `WSVD_SANITIZE` or
+    /// [`crate::sanitize::set_global`]), which is off unless requested.
     pub fn with_trace_named(device: DeviceSpec, trace: TraceSink, name: &str) -> Self {
         let trace_pid = trace.register_process(name);
         Self {
@@ -245,7 +324,35 @@ impl Gpu {
             profiler: Mutex::new(Profiler::new()),
             trace,
             trace_pid,
+            sanitize: SanitizeMode::resolved(),
+            sanitizer: Mutex::new(SanitizerReport::default()),
         }
+    }
+
+    /// Creates a fresh GPU with an explicit [`SanitizeMode`], ignoring the
+    /// process-wide default (useful in tests, which must not leak sanitizer
+    /// state into each other).
+    pub fn with_sanitize(device: DeviceSpec, mode: SanitizeMode) -> Self {
+        let mut gpu = Self::new(device);
+        gpu.sanitize = mode;
+        gpu
+    }
+
+    /// This GPU's default sanitize mode (individual launches may override it
+    /// via [`KernelConfig::sanitize`]).
+    pub fn sanitize_mode(&self) -> SanitizeMode {
+        self.sanitize
+    }
+
+    /// True when launches on this GPU are hazard-checked by default. Layers
+    /// above also key their *static* verification passes off this flag.
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize.is_on()
+    }
+
+    /// Snapshot of everything the sanitizer has found on this GPU so far.
+    pub fn sanitizer_report(&self) -> SanitizerReport {
+        self.sanitizer.lock().clone()
     }
 
     /// The trace sink this GPU records into (disabled by default).
@@ -309,13 +416,14 @@ impl Gpu {
             "grid must match item count in launch_over"
         );
         self.check_cfg(&cfg);
-        let results: Vec<Result<BlockCounters, KernelError>> = items
+        let sanitize = cfg.sanitize.unwrap_or(self.sanitize);
+        let results: Vec<Result<BlockOutput, KernelError>> = items
             .par_iter_mut()
             .enumerate()
             .map(|(b, item)| {
-                let mut ctx = BlockCtx::new(&self.device, &cfg);
+                let mut ctx = BlockCtx::new(&self.device, &cfg, sanitize);
                 f(b, item, &mut ctx)?;
-                Ok(ctx.into_counters())
+                Ok(ctx.into_parts())
             })
             .collect();
         self.finish(cfg, results)
@@ -333,12 +441,13 @@ impl Gpu {
         F: Fn(usize, &mut BlockCtx) -> Result<R, KernelError> + Sync,
     {
         self.check_cfg(&cfg);
-        let results: Vec<Result<(R, BlockCounters), KernelError>> = (0..cfg.grid)
+        let sanitize = cfg.sanitize.unwrap_or(self.sanitize);
+        let results: Vec<Result<(R, BlockOutput), KernelError>> = (0..cfg.grid)
             .into_par_iter()
             .map(|b| {
-                let mut ctx = BlockCtx::new(&self.device, &cfg);
+                let mut ctx = BlockCtx::new(&self.device, &cfg, sanitize);
                 let r = f(b, &mut ctx)?;
-                Ok((r, ctx.into_counters()))
+                Ok((r, ctx.into_parts()))
             })
             .collect();
         let mut outs = Vec::with_capacity(cfg.grid);
@@ -368,16 +477,21 @@ impl Gpu {
         );
     }
 
-    /// Converts per-block counters into simulated time and records the launch.
+    /// Converts per-block counters into simulated time and records the
+    /// launch; sanitized blocks additionally report their hazard findings.
     fn finish(
         &self,
         cfg: KernelConfig,
-        results: Vec<Result<BlockCounters, KernelError>>,
+        results: Vec<Result<BlockOutput, KernelError>>,
     ) -> Result<LaunchStats, KernelError> {
         let mut blocks = Vec::with_capacity(results.len());
+        let mut outcomes = Vec::with_capacity(results.len());
         for r in results {
-            blocks.push(r?);
+            let (c, o) = r?;
+            blocks.push(c);
+            outcomes.push(o);
         }
+        self.report_sanitize_outcomes(&cfg, outcomes);
         let d = &self.device;
         let slots = d.concurrent_blocks(cfg.threads_per_block, cfg.smem_bytes_per_block);
         let concurrent = cfg.grid.min(slots).max(1);
@@ -498,6 +612,71 @@ impl Gpu {
             kernel_start,
             cfg.smem_bytes_per_block as f64,
         );
+    }
+
+    /// Folds the blocks' sanitizer findings into the GPU-wide report,
+    /// attributes each violation to its kernel and block, bumps the
+    /// process-wide violation count, and mirrors everything onto the
+    /// `sanitizer` trace track as structured instants. No-op for unsanitized
+    /// launches.
+    fn report_sanitize_outcomes(
+        &self,
+        cfg: &KernelConfig,
+        outcomes: Vec<Option<BlockSanitizeOutcome>>,
+    ) {
+        if outcomes.iter().all(|o| o.is_none()) {
+            return;
+        }
+        // The timeline has not recorded this launch yet, so its `seconds` is
+        // the launch's start time (same convention as `trace_launch`).
+        let ts = self.timeline.lock().seconds;
+        let pid = self.trace_pid;
+        let mut launch_stats = crate::sanitize::SanitizeStats::default();
+        let mut new_violations = Vec::new();
+        for (block, outcome) in outcomes.into_iter().enumerate() {
+            let Some(mut o) = outcome else { continue };
+            launch_stats.merge(&o.stats);
+            for v in o.violations.iter_mut() {
+                v.kernel = cfg.label.to_string();
+                v.block = block;
+            }
+            new_violations.append(&mut o.violations);
+        }
+        for v in &new_violations {
+            let mut args: Vec<(&'static str, wsvd_trace::ArgValue)> = vec![
+                ("kernel", cfg.label.into()),
+                ("block", v.block.into()),
+                ("epoch", v.epoch.into()),
+                ("lane_a", v.lanes.0.into()),
+                ("lane_b", v.lanes.1.into()),
+            ];
+            if let Some(buf) = v.buf {
+                args.push(("buf", buf.into()));
+            }
+            args.push(("detail", v.detail.clone().into()));
+            self.trace
+                .instant(pid, "sanitizer", &v.kind.to_string(), ts, args);
+        }
+        self.trace.instant(
+            pid,
+            "sanitizer",
+            "launch-checked",
+            ts,
+            vec![
+                ("kernel", cfg.label.into()),
+                ("blocks_checked", launch_stats.blocks_checked.into()),
+                ("epochs", launch_stats.epochs.into()),
+                ("accesses", launch_stats.accesses.into()),
+                ("gm_ops", launch_stats.gm_ops.into()),
+                ("violations", new_violations.len().into()),
+            ],
+        );
+        if !new_violations.is_empty() {
+            bump_global_violations(new_violations.len() as u64);
+        }
+        let mut rep = self.sanitizer.lock();
+        rep.stats.merge(&launch_stats);
+        rep.violations.extend(new_violations);
     }
 }
 
@@ -808,6 +987,113 @@ mod tests {
         assert_eq!(one_team.totals.flops, many_teams.totals.flops);
         // 8 small teams in parallel have equal span here (10 waves each way).
         assert!((one_team.totals.span_cycles - many_teams.totals.span_cycles).abs() < 1.0);
+    }
+
+    #[test]
+    fn sanitized_launch_reports_race_and_traces_it() {
+        let sink = wsvd_trace::TraceSink::enabled();
+        let mut gpu = Gpu::with_trace(V100, sink.clone());
+        gpu.sanitize = crate::sanitize::SanitizeMode::Full;
+        let cfg = KernelConfig::new(2, 64, 1024, "racy");
+        let (_, _stats) = gpu
+            .launch_collect(cfg, |_, ctx| {
+                let buf = ctx.smem().alloc(32)?;
+                ctx.smem_write(0, &buf, 0, 16);
+                ctx.smem_read(1, &buf, 8, 4); // overlaps lane 0's write
+                Ok(())
+            })
+            .unwrap();
+        let rep = gpu.sanitizer_report();
+        assert_eq!(rep.violations.len(), 2); // one per block
+        assert_eq!(
+            rep.violations[0].kind,
+            crate::sanitize::HazardKind::ReadWrite
+        );
+        assert_eq!(rep.violations[0].kernel, "racy");
+        assert_eq!(rep.violations[1].block, 1);
+        assert_eq!(rep.stats.blocks_checked, 2);
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| e.track == "sanitizer" && e.name == "read-write race"));
+        assert!(events
+            .iter()
+            .any(|e| e.track == "sanitizer" && e.name == "launch-checked"));
+    }
+
+    #[test]
+    fn barrier_clears_hazards_and_leak_is_flagged() {
+        let gpu = Gpu::with_sanitize(V100, crate::sanitize::SanitizeMode::Full);
+        let cfg = KernelConfig::new(1, 64, 1024, "barriered");
+        gpu.launch_collect(cfg, |_, ctx| {
+            let buf = ctx.smem().alloc(32)?;
+            ctx.smem_write(0, &buf, 0, 16);
+            ctx.sync_threads();
+            ctx.smem_read(1, &buf, 8, 4); // ordered after the barrier
+            std::mem::forget(buf); // planted leak: budget never released
+            Ok(())
+        })
+        .unwrap();
+        let rep = gpu.sanitizer_report();
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(
+            rep.violations[0].kind,
+            crate::sanitize::HazardKind::SmemLeak
+        );
+        assert_eq!(rep.stats.epochs, 1);
+    }
+
+    #[test]
+    fn kernel_config_override_beats_gpu_mode() {
+        let gpu = Gpu::with_sanitize(V100, crate::sanitize::SanitizeMode::Off);
+        let mut cfg = KernelConfig::new(1, 64, 1024, "forced-on");
+        cfg.sanitize = Some(crate::sanitize::SanitizeMode::Full);
+        gpu.launch_collect(cfg, |_, ctx| {
+            let buf = ctx.smem().alloc(8)?;
+            ctx.smem_write(0, &buf, 0, 8);
+            ctx.smem_write(1, &buf, 0, 8);
+            Ok(())
+        })
+        .unwrap();
+        assert!(!gpu.sanitize_enabled());
+        assert_eq!(gpu.sanitizer_report().violations.len(), 1);
+    }
+
+    #[test]
+    fn sanitizer_off_is_inert_and_costless() {
+        let gpu = Gpu::new(V100);
+        let cfg = KernelConfig::new(1, 64, 1024, "inert");
+        let (_, stats) = gpu
+            .launch_collect(cfg, |_, ctx| {
+                assert!(!ctx.sanitizing());
+                let buf = ctx.smem().alloc(8)?;
+                ctx.smem_write(0, &buf, 0, 8);
+                ctx.smem_write(1, &buf, 0, 8); // would race if checked
+                ctx.sync_threads();
+                ctx.lane_sync(0);
+                Ok(())
+            })
+            .unwrap();
+        assert!(gpu.sanitizer_report().is_clean());
+        assert_eq!(gpu.sanitizer_report().stats.blocks_checked, 0);
+        // The sanitized run of the *same* kernel produces identical counters
+        // and timing: instrumentation must never perturb the model.
+        let san = Gpu::with_sanitize(V100, crate::sanitize::SanitizeMode::Full);
+        let (_, san_stats) = san
+            .launch_collect(cfg, |_, ctx| {
+                let buf = ctx.smem().alloc(8)?;
+                ctx.smem_write(0, &buf, 0, 8);
+                ctx.smem_write(1, &buf, 0, 8);
+                ctx.sync_threads();
+                ctx.lane_sync(0);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(stats.totals, san_stats.totals);
+        assert_eq!(
+            stats.kernel_seconds.to_bits(),
+            san_stats.kernel_seconds.to_bits()
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod counters;
 pub mod device;
 pub mod launch;
 pub mod profile;
+pub mod sanitize;
 pub mod smem;
 
 pub use cluster::GpuCluster;
@@ -30,4 +31,7 @@ pub use counters::{BlockCounters, LaunchStats, Timeline};
 pub use device::{DeviceSpec, A100, ALL_DEVICES, P100, TITAN_X, V100, VEGA20};
 pub use launch::{BlockCtx, BlockPlacement, Gpu, KernelConfig, KernelError};
 pub use profile::{KernelProfile, Profiler};
+pub use sanitize::{
+    HazardKind, HazardTracker, SanitizeMode, SanitizerReport, SmemRequirement, Violation,
+};
 pub use smem::{SharedMem, SmemBuf, SmemOverflow};

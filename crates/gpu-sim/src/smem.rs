@@ -43,6 +43,7 @@ pub struct SharedMem {
     capacity: usize,
     used: Rc<Cell<usize>>,
     peak: Rc<Cell<usize>>,
+    next_id: Cell<usize>,
 }
 
 /// An SM-resident `f64` buffer. Storage is owned; the bytes stay charged to
@@ -51,6 +52,7 @@ pub struct SharedMem {
 pub struct SmemBuf {
     data: Vec<f64>,
     used: Rc<Cell<usize>>,
+    id: usize,
 }
 
 impl SharedMem {
@@ -60,6 +62,7 @@ impl SharedMem {
             capacity: capacity_bytes,
             used: Rc::new(Cell::new(0)),
             peak: Rc::new(Cell::new(0)),
+            next_id: Cell::new(0),
         }
     }
 
@@ -79,9 +82,12 @@ impl SharedMem {
         if self.used.get() > self.peak.get() {
             self.peak.set(self.used.get());
         }
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
         Ok(SmemBuf {
             data: vec![0.0; n],
             used: Rc::clone(&self.used),
+            id,
         })
     }
 
@@ -131,6 +137,13 @@ impl SmemBuf {
     #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Allocation id within this buffer's arena (monotonic per block), used
+    /// by the sanitizer to attribute hazards to a specific buffer.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
     }
 
     /// True when the buffer holds no elements.
@@ -200,6 +213,17 @@ mod tests {
         drop(b);
         let _c = sm.alloc(10).unwrap();
         assert_eq!(sm.peak_bytes(), 1600);
+    }
+
+    #[test]
+    fn buffer_ids_are_monotonic_per_arena() {
+        let sm = SharedMem::new(1024);
+        let a = sm.alloc(1).unwrap();
+        let b = sm.alloc(1).unwrap();
+        drop(a);
+        let c = sm.alloc(1).unwrap();
+        assert_eq!(b.id(), 1);
+        assert_eq!(c.id(), 2); // ids are never reused, even after a drop
     }
 
     #[test]

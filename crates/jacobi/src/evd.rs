@@ -14,11 +14,24 @@
 //!   element-wise as `b̂_xy = x^T B y` (6 multiplications + 3 additions per
 //!   element, Fig. 5), so every element of `B̂` is written in parallel.
 
-use wsvd_gpu_sim::{BlockCtx, KernelError};
+use wsvd_gpu_sim::{BlockCtx, KernelError, SmemBuf};
 use wsvd_linalg::givens::{two_sided_rotation, Rotation};
 use wsvd_linalg::Matrix;
 
 use crate::ordering::round_robin;
+
+/// Shared-memory placement of the EVD kernel's working set, used by the
+/// hazard sanitizer to attribute lane accesses to the real buffers.
+struct EvdSmemLayout<'a> {
+    /// The symmetric working matrix `B` (`s x s`).
+    b: &'a SmemBuf,
+    /// The accumulated eigenvector matrix `J` (`s x s`).
+    j: &'a SmemBuf,
+    /// Half-matrix panel staging for the parallel update (`s*s/2`).
+    scratch: &'a SmemBuf,
+    /// Per-step rotation parameters (`2s`).
+    rots: &'a SmemBuf,
+}
 
 /// Which EVD kernel to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,10 +95,19 @@ pub fn evd_in_block(
     );
 
     // Charge the SM footprint (matches `fits::evd_smem_elems`).
-    let _b_buf = ctx.gm_load_to_smem(b.as_slice())?;
-    let _j_buf = ctx.smem().alloc(s * s)?;
-    let _scratch = ctx.smem().alloc((s * s) / 2)?; // panel staging for the parallel update
-    let _rots = ctx.smem().alloc(2 * s)?;
+    let b_buf = ctx.gm_load_to_smem(b.as_slice())?;
+    let j_buf = ctx.smem().alloc(s * s)?;
+    let scratch = ctx.smem().alloc((s * s) / 2)?; // panel staging for the parallel update
+    let rots = ctx.smem().alloc(2 * s)?;
+    // Staging barrier: the cooperative GM load completes before any lane
+    // reads the SM-resident working set.
+    ctx.sync_threads();
+    let lay = EvdSmemLayout {
+        b: &b_buf,
+        j: &j_buf,
+        scratch: &scratch,
+        rots: &rots,
+    };
 
     let mut work = b.clone();
     let mut j = Matrix::identity(s);
@@ -96,11 +118,13 @@ pub fn evd_in_block(
     while !converged && sweeps < cfg.max_sweeps {
         sweeps += 1;
         match cfg.variant {
-            EvdVariant::Sequential => sequential_sweep(&mut work, &mut j, ctx),
-            EvdVariant::Parallel => parallel_sweep(&mut work, &mut j, ctx),
+            EvdVariant::Sequential => sequential_sweep(&mut work, &mut j, ctx, &lay),
+            EvdVariant::Parallel => parallel_sweep(&mut work, &mut j, ctx, &lay),
         }
         converged = work.off_diag_norm() <= cfg.tol * fro;
     }
+    // Write-back barrier, then the cooperative GM store.
+    ctx.sync_threads();
     ctx.count_gm_store(2 * s * s); // write back Λ diagnostics and J
 
     // Extract and sort eigenvalues (descending), permuting J to match.
@@ -123,7 +147,7 @@ pub fn evd_in_block(
 
 /// Classic cyclic sweep: one elimination at a time, rows and columns updated
 /// in place. Span: each elimination serializes behind the previous one.
-fn sequential_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx) {
+fn sequential_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx, lay: &EvdSmemLayout<'_>) {
     let s = b.rows();
     for p in 0..s {
         for q in (p + 1)..s {
@@ -141,6 +165,16 @@ fn sequential_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx) {
             ctx.serial_step(100);
             ctx.team_step(1, (4 * s).min(ctx.threads()), 4 * s, 6);
             ctx.team_step(1, (2 * s).min(ctx.threads()), 2 * s, 6); // J columns
+                                                                    // One cooperative group does the whole elimination (lane 0), so
+                                                                    // the only hazard to check is the barrier before the next
+                                                                    // elimination reads what this one wrote.
+            if ctx.sanitizing() {
+                ctx.smem_write(0, lay.b, p * s, s);
+                ctx.smem_write(0, lay.b, q * s, s);
+                ctx.smem_write(0, lay.j, p * s, s);
+                ctx.smem_write(0, lay.j, q * s, s);
+            }
+            ctx.sync_threads();
         }
     }
 }
@@ -148,7 +182,7 @@ fn sequential_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx) {
 /// The paper's parallel sweep: round-robin steps of disjoint pairs; all
 /// rotations of a step are computed from the current `B`, then applied at
 /// once via the `x^T B y` element-wise formula.
-fn parallel_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx) {
+fn parallel_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx, lay: &EvdSmemLayout<'_>) {
     let s = b.rows();
     let schedule = round_robin(s);
     for step in &schedule {
@@ -161,6 +195,17 @@ fn parallel_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx) {
             .map(|&(p, q)| (p, q, two_sided_rotation(b[(p, p)], b[(p, q)], b[(q, q)])))
             .collect();
         ctx.team_step(step.len(), 1, 1, 20);
+        // Rotation epoch: lane `t` reads its 2x2 pivot block of B and
+        // publishes (c, s) into the rotation table.
+        if ctx.sanitizing() {
+            for (t, &(p, q)) in step.iter().enumerate() {
+                ctx.smem_read(t, lay.b, p * s + p, 1);
+                ctx.smem_read(t, lay.b, p * s + q, 1);
+                ctx.smem_read(t, lay.b, q * s + q, 1);
+                ctx.smem_write(t, lay.rots, 2 * t, 2);
+            }
+        }
+        ctx.sync_threads();
 
         // Element-wise B̂ = G^T B G: column map col->(partner, c, s).
         let mut partner: Vec<usize> = (0..s).collect();
@@ -180,12 +225,44 @@ fn parallel_sweep(b: &mut Matrix, j: &mut Matrix, ctx: &mut BlockCtx) {
             }
         }
         ctx.par_step(s * s, 9);
+        // The in-place update is staged through the half-matrix scratch
+        // panel: each panel pass is two epochs — lanes (one per column) read
+        // the pre-panel B plus the rotation table and write their staged
+        // column into scratch, sync, then copy the staged column back over B.
+        if ctx.sanitizing() {
+            let half = (s / 2).max(1);
+            let mut panel_start = 0;
+            while panel_start < s {
+                let panel_end = (panel_start + half).min(s);
+                for c in panel_start..panel_end {
+                    ctx.smem_read(c, lay.b, 0, s * s);
+                    ctx.smem_read(c, lay.rots, 0, 2 * step.len());
+                    ctx.smem_write(c, lay.scratch, (c - panel_start) * s, s);
+                }
+                ctx.sync_threads();
+                for c in panel_start..panel_end {
+                    ctx.smem_read(c, lay.scratch, (c - panel_start) * s, s);
+                    ctx.smem_write(c, lay.b, c * s, s);
+                }
+                ctx.sync_threads();
+                panel_start = panel_end;
+            }
+        }
 
         // J <- J * G (disjoint column pairs, all parallel).
         for &(p, q, r) in &rots {
             apply_right_rotation(j, p, q, r);
         }
         ctx.par_step(step.len() * s, 6);
+        // J-update epoch: lane `t` owns columns (p, q) of J exclusively.
+        if ctx.sanitizing() {
+            for (t, &(p, q, _)) in rots.iter().enumerate() {
+                ctx.smem_read(t, lay.rots, 2 * t, 2);
+                ctx.smem_write(t, lay.j, p * s, s);
+                ctx.smem_write(t, lay.j, q * s, s);
+            }
+        }
+        ctx.sync_threads();
     }
 }
 
@@ -370,6 +447,31 @@ mod tests {
         let (evd, _) = run(&b, &EvdConfig::default());
         assert!((evd.lambda[0] - 1.0).abs() < 1e-12);
         assert!((evd.lambda[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sanitized_evd_is_hazard_free() {
+        let b = random_symmetric(12, 7);
+        for variant in [EvdVariant::Parallel, EvdVariant::Sequential] {
+            let gpu = Gpu::with_sanitize(V100, wsvd_gpu_sim::SanitizeMode::Full);
+            let kc = KernelConfig::new(1, 256, 48 * 1024, "sanitized-evd");
+            let (mut out, _) = gpu
+                .launch_collect(kc, |_, ctx| {
+                    evd_in_block(
+                        &b,
+                        &EvdConfig {
+                            variant,
+                            ..Default::default()
+                        },
+                        ctx,
+                    )
+                })
+                .unwrap();
+            assert!(out.pop().unwrap().converged);
+            let rep = gpu.sanitizer_report();
+            assert!(rep.is_clean(), "{variant:?}: {:?}", rep.violations);
+            assert!(rep.stats.epochs > 0);
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`ordering`] — round-robin / odd-even / ring pair schedules;
 //! * [`fits`] — the exact shared-memory footprint predicates that drive
 //!   Algorithm 2's level classification;
-//! * [`batch`] — one-block-per-matrix batched launches.
+//! * [`batch`] — one-block-per-matrix batched launches;
+//! * [`verify`] — static conflict-freedom and coverage proofs for any pair
+//!   schedule, used by the `wsvd-sanitizer` layer before kernels launch.
 
 #![warn(missing_docs)]
 
@@ -20,9 +22,11 @@ pub mod evd;
 pub mod fits;
 pub mod onesided;
 pub mod ordering;
+pub mod verify;
 
 pub use batch::{batched_evd_sm, batched_svd_gm, batched_svd_sm};
 pub use evd::{evd_in_block, EvdConfig, EvdVariant, JacobiEvd};
 pub use fits::{evd_fits_in_sm, max_w_for_evd, svd_fits_in_sm};
-pub use onesided::{svd_in_block, JacobiStats, JacobiSvd, MemSpace, OneSidedConfig};
+pub use onesided::{svd_in_block, JacobiStats, JacobiSvd, MemSpace, OneSidedConfig, SvdSmemLayout};
 pub use ordering::Ordering;
+pub use verify::{verify_ordering, verify_schedule, Coverage, ScheduleProof, ScheduleViolation};

@@ -16,12 +16,24 @@
 //! column-pair tasks (`threads_per_pair`) and the Eq.-(6) inner-product
 //! caching that avoids two-thirds of the dot products.
 
-use wsvd_gpu_sim::{BlockCtx, KernelError};
+use wsvd_gpu_sim::{BlockCtx, KernelError, SmemBuf};
 use wsvd_linalg::gemm::dot;
 use wsvd_linalg::givens::{one_sided_rotation, rotate_columns, rotated_norms};
 use wsvd_linalg::Matrix;
 
 use crate::ordering::Ordering;
+
+/// Shared-memory placement of the one-sided kernel's working set. When the
+/// hazard sanitizer is active, the kernel uses this to attribute each lane's
+/// column reads/writes to the real SM buffers (lane = pair-team index).
+pub struct SvdSmemLayout<'a> {
+    /// The column-major working matrix (`m x n` elements).
+    pub a: &'a SmemBuf,
+    /// The accumulated right factor (`n x n` elements), when SM-resident.
+    pub v: Option<&'a SmemBuf>,
+    /// The cached column norms (at least `n` elements).
+    pub norms: &'a SmemBuf,
+}
 
 /// Where the kernel's working set lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +127,22 @@ pub fn one_sided_sweeps(
     ctx: &mut BlockCtx,
     space: MemSpace,
 ) -> SweepOutcome {
+    one_sided_sweeps_in(a, cfg, ctx, space, None)
+}
+
+/// [`one_sided_sweeps`] with an explicit shared-memory layout so the hazard
+/// sanitizer can check the kernel's barrier structure: each rotation step is
+/// one barrier epoch in which pair-team `t` owns columns `(i_t, j_t)` of the
+/// matrix and of `V` plus their two norm-cache slots; the per-sweep norm
+/// refresh is its own epoch (lane = column). A schedule with overlapping
+/// pairs therefore surfaces as a write–write race on the shared column.
+pub fn one_sided_sweeps_in(
+    a: &mut Matrix,
+    cfg: &OneSidedConfig,
+    ctx: &mut BlockCtx,
+    space: MemSpace,
+    layout: Option<&SvdSmemLayout<'_>>,
+) -> SweepOutcome {
     let (m, n) = a.shape();
     let mut v = if cfg.accumulate_v {
         Some(Matrix::identity(n))
@@ -164,6 +192,16 @@ pub fn one_sided_sweeps(
             if space == MemSpace::Global {
                 ctx.count_gm_load(n * m);
             }
+            // Refresh epoch: lane j reads column j and writes its norm slot.
+            if ctx.sanitizing() {
+                if let Some(lay) = layout {
+                    for j in 0..n {
+                        ctx.smem_read(j, lay.a, j * m, m);
+                        ctx.smem_write(j, lay.norms, j, 1);
+                    }
+                }
+            }
+            ctx.sync_threads();
         }
 
         for step in &schedule {
@@ -176,6 +214,26 @@ pub fn one_sided_sweeps(
             ctx.team_reduce(pairs * dots_per_pair, tpp, m);
             if space == MemSpace::Global {
                 ctx.count_gm_load(pairs * 2 * m);
+            }
+
+            // Rotation epoch: pair-team `t` owns its two columns (and their
+            // norm-cache slots) exclusively; conflict-free schedules make
+            // these access sets disjoint across lanes.
+            if ctx.sanitizing() {
+                if let Some(lay) = layout {
+                    for (t, &(i, j)) in step.iter().enumerate() {
+                        ctx.smem_write(t, lay.a, i * m, m);
+                        ctx.smem_write(t, lay.a, j * m, m);
+                        if let Some(vb) = lay.v {
+                            ctx.smem_write(t, vb, i * n, n);
+                            ctx.smem_write(t, vb, j * n, n);
+                        }
+                        if cfg.cache_norms {
+                            ctx.smem_write(t, lay.norms, i, 1);
+                            ctx.smem_write(t, lay.norms, j, 1);
+                        }
+                    }
+                }
             }
 
             let mut rotated_pairs = 0usize;
@@ -240,6 +298,9 @@ pub fn one_sided_sweeps(
                     }
                 }
             }
+            // Barrier between steps: the next step's pairs may touch any
+            // column this step rotated.
+            ctx.sync_threads();
         }
 
         if cfg.record_coherence {
@@ -336,25 +397,35 @@ pub fn svd_in_block(
     let (m, n) = a.shape();
     if m >= n {
         // Charge the SM working set: matrix + V accumulation + norm caches.
-        let _a_buf;
-        let _v_buf;
-        let _n_buf;
-        if space == MemSpace::Shared {
-            _a_buf = ctx.gm_load_to_smem(a.as_slice())?;
-            _v_buf = if cfg.accumulate_v {
+        let bufs = if space == MemSpace::Shared {
+            let a_buf = ctx.gm_load_to_smem(a.as_slice())?;
+            let v_buf = if cfg.accumulate_v {
                 Some(ctx.smem().alloc(n * n)?)
             } else {
                 None
             };
-            _n_buf = ctx.smem().alloc(2 * n)?;
-        }
+            let n_buf = ctx.smem().alloc(2 * n)?;
+            // Staging barrier: the cooperative GM load completes before any
+            // lane reads the SM-resident working set.
+            ctx.sync_threads();
+            Some((a_buf, v_buf, n_buf))
+        } else {
+            None
+        };
+        let layout = bufs.as_ref().map(|(a_buf, v_buf, n_buf)| SvdSmemLayout {
+            a: a_buf,
+            v: v_buf.as_ref(),
+            norms: n_buf,
+        });
         let mut work = a.clone();
         let cfg = OneSidedConfig {
             accumulate_v: true,
             ..*cfg
         };
-        let out = one_sided_sweeps(&mut work, &cfg, ctx, space);
+        let out = one_sided_sweeps_in(&mut work, &cfg, ctx, space, layout.as_ref());
         if space == MemSpace::Shared {
+            // Write-back barrier, then the cooperative GM store.
+            ctx.sync_threads();
             ctx.count_gm_store(m * n + n * n);
         }
         Ok(extract_factors(
@@ -367,21 +438,28 @@ pub fn svd_in_block(
         // Wide: decompose A^T (n x m, tall). Accumulated V of A^T is U of A;
         // converged columns of A^T give V of A (thin), completed to square.
         let at = a.transpose();
-        let _a_buf;
-        let _u_buf;
-        let _n_buf;
-        if space == MemSpace::Shared {
-            _a_buf = ctx.gm_load_to_smem(at.as_slice())?;
-            _u_buf = ctx.smem().alloc(m * m)?;
-            _n_buf = ctx.smem().alloc(2 * m)?;
-        }
+        let bufs = if space == MemSpace::Shared {
+            let a_buf = ctx.gm_load_to_smem(at.as_slice())?;
+            let u_buf = ctx.smem().alloc(m * m)?;
+            let n_buf = ctx.smem().alloc(2 * m)?;
+            ctx.sync_threads();
+            Some((a_buf, u_buf, n_buf))
+        } else {
+            None
+        };
+        let layout = bufs.as_ref().map(|(a_buf, u_buf, n_buf)| SvdSmemLayout {
+            a: a_buf,
+            v: Some(u_buf),
+            norms: n_buf,
+        });
         let mut work = at;
         let cfg_t = OneSidedConfig {
             accumulate_v: true,
             ..*cfg
         };
-        let out = one_sided_sweeps(&mut work, &cfg_t, ctx, space);
+        let out = one_sided_sweeps_in(&mut work, &cfg_t, ctx, space, layout.as_ref());
         if space == MemSpace::Shared {
+            ctx.sync_threads();
             ctx.count_gm_store(n * m + m * m);
         }
         let t = extract_factors(
@@ -648,6 +726,30 @@ mod tests {
         };
         // With batch-size-1 style blocks, wider teams shorten the span.
         assert!(span_of(32) < span_of(1));
+    }
+
+    #[test]
+    fn sanitized_kernel_is_hazard_free_and_identical() {
+        // Tall and wide shapes, both under full hazard checking: the real
+        // kernel must produce zero violations and byte-identical results.
+        for &(m, n, seed) in &[(16usize, 8usize, 29u64), (4, 10, 31)] {
+            let a = random_uniform(m, n, seed);
+            let base = run_one(&a, &OneSidedConfig::default(), MemSpace::Shared);
+            let gpu = Gpu::with_sanitize(V100, wsvd_gpu_sim::SanitizeMode::Full);
+            let kc = KernelConfig::new(1, 128, 48 * 1024, "sanitized-svd");
+            let (mut out, _) = gpu
+                .launch_collect(kc, |_, ctx| {
+                    assert!(ctx.sanitizing());
+                    svd_in_block(&a, &OneSidedConfig::default(), ctx, MemSpace::Shared)
+                })
+                .unwrap();
+            let svd = out.pop().unwrap();
+            let rep = gpu.sanitizer_report();
+            assert!(rep.is_clean(), "({m},{n}): {:?}", rep.violations);
+            assert!(rep.stats.epochs > 0);
+            assert!(rep.stats.accesses > 0);
+            assert_eq!(svd.sigma, base.sigma);
+        }
     }
 
     #[test]

@@ -116,6 +116,9 @@ pub enum Ordering {
 }
 
 impl Ordering {
+    /// Every shipped ordering, for exhaustive verification sweeps.
+    pub const ALL: [Ordering; 3] = [Ordering::RoundRobin, Ordering::OddEven, Ordering::Ring];
+
     /// Builds the schedule for `n` indices.
     pub fn schedule(self, n: usize) -> Schedule {
         match self {

@@ -94,6 +94,34 @@ proptest! {
     }
 
     #[test]
+    fn every_ordering_passes_the_static_checker(n in 2usize..=32) {
+        use wsvd_jacobi::ordering::Ordering;
+        use wsvd_jacobi::verify::verify_ordering;
+        for o in Ordering::ALL {
+            let proof = verify_ordering(o, n);
+            prop_assert!(proof.is_ok(), "{:?} n={} rejected: {}", o, n, proof.unwrap_err());
+            let proof = proof.unwrap();
+            prop_assert_eq!(proof.pairs, n * (n - 1) / 2);
+            prop_assert!(proof.max_step_width <= n / 2);
+            prop_assert!(proof.steps >= n - 1, "a sweep needs at least n-1 steps");
+        }
+    }
+
+    #[test]
+    fn sanitized_sm_svd_is_hazard_free(m in 2usize..24, n in 2usize..16, seed in any::<u64>()) {
+        use wsvd_gpu_sim::SanitizeMode;
+        let a = random_uniform(m, n, seed);
+        let gpu = Gpu::with_sanitize(V100, SanitizeMode::Full);
+        let kc = KernelConfig::new(1, 128, 48 * 1024, "prop-sanitized-svd");
+        gpu.launch_collect(kc, |_, ctx| {
+            svd_in_block(&a, &OneSidedConfig::default(), ctx, MemSpace::Shared)
+        })
+        .unwrap();
+        let report = gpu.sanitizer_report();
+        prop_assert!(report.is_clean(), "{}x{}: {:?}", m, n, report.violations);
+    }
+
+    #[test]
     fn svd_energy_identity(m in 2usize..20, n in 2usize..16, seed in any::<u64>()) {
         let a = random_uniform(m, n, seed);
         let svd = run_svd(&a, &OneSidedConfig::default(), MemSpace::Shared);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sanitizer_integration-ad145ab7577764b7.d: tests/sanitizer_integration.rs
+
+/root/repo/target/debug/deps/sanitizer_integration-ad145ab7577764b7: tests/sanitizer_integration.rs
+
+tests/sanitizer_integration.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/wsvd_core-665238270314a0e0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/debug/deps/wsvd_core-665238270314a0e0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
-/root/repo/target/debug/deps/wsvd_core-665238270314a0e0: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/debug/deps/wsvd_core-665238270314a0e0: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/stats.rs:
+crates/core/src/verify.rs:
 crates/core/src/wcycle.rs:

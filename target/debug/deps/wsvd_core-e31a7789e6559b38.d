@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/wsvd_core-e31a7789e6559b38.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/debug/deps/wsvd_core-e31a7789e6559b38.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
-/root/repo/target/debug/deps/libwsvd_core-e31a7789e6559b38.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/debug/deps/libwsvd_core-e31a7789e6559b38.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
-/root/repo/target/debug/deps/libwsvd_core-e31a7789e6559b38.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/debug/deps/libwsvd_core-e31a7789e6559b38.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/stats.rs:
+crates/core/src/verify.rs:
 crates/core/src/wcycle.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/wsvd_jacobi-67d6595ac8b71050.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/debug/deps/wsvd_jacobi-67d6595ac8b71050.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
-/root/repo/target/debug/deps/wsvd_jacobi-67d6595ac8b71050: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/debug/deps/wsvd_jacobi-67d6595ac8b71050: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
 crates/jacobi/src/lib.rs:
 crates/jacobi/src/batch.rs:
@@ -8,3 +8,4 @@ crates/jacobi/src/evd.rs:
 crates/jacobi/src/fits.rs:
 crates/jacobi/src/onesided.rs:
 crates/jacobi/src/ordering.rs:
+crates/jacobi/src/verify.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/wsvd_jacobi-c131b88cfc2b11aa.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/debug/deps/wsvd_jacobi-c131b88cfc2b11aa.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
-/root/repo/target/debug/deps/libwsvd_jacobi-c131b88cfc2b11aa.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/debug/deps/libwsvd_jacobi-c131b88cfc2b11aa.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
-/root/repo/target/debug/deps/libwsvd_jacobi-c131b88cfc2b11aa.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/debug/deps/libwsvd_jacobi-c131b88cfc2b11aa.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
 crates/jacobi/src/lib.rs:
 crates/jacobi/src/batch.rs:
@@ -10,3 +10,4 @@ crates/jacobi/src/evd.rs:
 crates/jacobi/src/fits.rs:
 crates/jacobi/src/onesided.rs:
 crates/jacobi/src/ordering.rs:
+crates/jacobi/src/verify.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/wsvd_jacobi-f5471f7337f03182.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs Cargo.toml
+/root/repo/target/debug/deps/wsvd_jacobi-f5471f7337f03182.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs Cargo.toml
 
-/root/repo/target/debug/deps/libwsvd_jacobi-f5471f7337f03182.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs Cargo.toml
+/root/repo/target/debug/deps/libwsvd_jacobi-f5471f7337f03182.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs Cargo.toml
 
 crates/jacobi/src/lib.rs:
 crates/jacobi/src/batch.rs:
@@ -8,7 +8,8 @@ crates/jacobi/src/evd.rs:
 crates/jacobi/src/fits.rs:
 crates/jacobi/src/onesided.rs:
 crates/jacobi/src/ordering.rs:
+crates/jacobi/src/verify.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/wsvd_core-501fae2effbd92f9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/release/deps/wsvd_core-501fae2effbd92f9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
-/root/repo/target/release/deps/libwsvd_core-501fae2effbd92f9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/release/deps/libwsvd_core-501fae2effbd92f9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
-/root/repo/target/release/deps/libwsvd_core-501fae2effbd92f9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/wcycle.rs
+/root/repo/target/release/deps/libwsvd_core-501fae2effbd92f9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/stats.rs:
+crates/core/src/verify.rs:
 crates/core/src/wcycle.rs:

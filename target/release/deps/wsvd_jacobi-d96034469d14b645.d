@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/wsvd_jacobi-d96034469d14b645.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/release/deps/wsvd_jacobi-d96034469d14b645.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
-/root/repo/target/release/deps/libwsvd_jacobi-d96034469d14b645.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/release/deps/libwsvd_jacobi-d96034469d14b645.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
-/root/repo/target/release/deps/libwsvd_jacobi-d96034469d14b645.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs
+/root/repo/target/release/deps/libwsvd_jacobi-d96034469d14b645.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
 
 crates/jacobi/src/lib.rs:
 crates/jacobi/src/batch.rs:
@@ -10,3 +10,4 @@ crates/jacobi/src/evd.rs:
 crates/jacobi/src/fits.rs:
 crates/jacobi/src/onesided.rs:
 crates/jacobi/src/ordering.rs:
+crates/jacobi/src/verify.rs:
