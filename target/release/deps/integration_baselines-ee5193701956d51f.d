@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_baselines-ee5193701956d51f.d: tests/integration_baselines.rs
+
+/root/repo/target/release/deps/integration_baselines-ee5193701956d51f: tests/integration_baselines.rs
+
+tests/integration_baselines.rs:

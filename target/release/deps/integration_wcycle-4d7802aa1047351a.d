@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_wcycle-4d7802aa1047351a.d: tests/integration_wcycle.rs
+
+/root/repo/target/release/deps/integration_wcycle-4d7802aa1047351a: tests/integration_wcycle.rs
+
+tests/integration_wcycle.rs:

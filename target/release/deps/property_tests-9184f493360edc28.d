@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_tests-9184f493360edc28.d: tests/property_tests.rs
+
+/root/repo/target/release/deps/property_tests-9184f493360edc28: tests/property_tests.rs
+
+tests/property_tests.rs:

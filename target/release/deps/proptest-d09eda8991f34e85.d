@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-d09eda8991f34e85.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-d09eda8991f34e85: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

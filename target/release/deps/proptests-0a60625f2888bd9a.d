@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-0a60625f2888bd9a.d: crates/batched/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-0a60625f2888bd9a: crates/batched/tests/proptests.rs
+
+crates/batched/tests/proptests.rs:

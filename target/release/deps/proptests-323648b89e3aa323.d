@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-323648b89e3aa323.d: crates/jacobi/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-323648b89e3aa323: crates/jacobi/tests/proptests.rs
+
+crates/jacobi/tests/proptests.rs:

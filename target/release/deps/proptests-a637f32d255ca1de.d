@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-a637f32d255ca1de.d: crates/linalg/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-a637f32d255ca1de: crates/linalg/tests/proptests.rs
+
+crates/linalg/tests/proptests.rs:

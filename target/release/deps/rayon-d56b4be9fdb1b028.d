@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-d56b4be9fdb1b028.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-d56b4be9fdb1b028: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

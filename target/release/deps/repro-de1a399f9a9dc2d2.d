@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-de1a399f9a9dc2d2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-de1a399f9a9dc2d2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

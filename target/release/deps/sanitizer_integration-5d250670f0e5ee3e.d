@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sanitizer_integration-5d250670f0e5ee3e.d: tests/sanitizer_integration.rs
+
+/root/repo/target/release/deps/sanitizer_integration-5d250670f0e5ee3e: tests/sanitizer_integration.rs
+
+tests/sanitizer_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_integration-35bb92766df6fe3b.d: tests/trace_integration.rs
+
+/root/repo/target/release/deps/trace_integration-35bb92766df6fe3b: tests/trace_integration.rs
+
+tests/trace_integration.rs:

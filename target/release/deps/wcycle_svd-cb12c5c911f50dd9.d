@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wcycle_svd-cb12c5c911f50dd9.d: src/lib.rs
+
+/root/repo/target/release/deps/wcycle_svd-cb12c5c911f50dd9: src/lib.rs
+
+src/lib.rs:

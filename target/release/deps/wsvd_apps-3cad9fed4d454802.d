@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/wsvd_apps-3cad9fed4d454802.d: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/release/deps/wsvd_apps-3cad9fed4d454802: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/assimilation.rs:
+crates/apps/src/compression.rs:
+crates/apps/src/filters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsvd_baselines-2af1821acf04541b.d: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+/root/repo/target/release/deps/wsvd_baselines-2af1821acf04541b: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/block.rs:
+crates/baselines/src/cusolver.rs:
+crates/baselines/src/dp.rs:
+crates/baselines/src/magma.rs:

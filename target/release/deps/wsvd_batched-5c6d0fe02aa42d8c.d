@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsvd_batched-5c6d0fe02aa42d8c.d: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+/root/repo/target/release/deps/wsvd_batched-5c6d0fe02aa42d8c: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+crates/batched/src/lib.rs:
+crates/batched/src/alpha.rs:
+crates/batched/src/autotune.rs:
+crates/batched/src/gemm.rs:
+crates/batched/src/models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsvd_core-81483434984ebcbc.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+/root/repo/target/release/deps/wsvd_core-81483434984ebcbc: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/verify.rs:
+crates/core/src/wcycle.rs:

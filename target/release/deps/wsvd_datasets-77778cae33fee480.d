@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wsvd_datasets-77778cae33fee480.d: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+/root/repo/target/release/deps/wsvd_datasets-77778cae33fee480: crates/datasets/src/lib.rs crates/datasets/src/groups.rs crates/datasets/src/named.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/groups.rs:
+crates/datasets/src/named.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wsvd_gpu_sim-b7ead7c1850a0897.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+/root/repo/target/release/deps/wsvd_gpu_sim-b7ead7c1850a0897: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cluster.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/sanitize.rs:
+crates/gpu-sim/src/smem.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/wsvd_linalg-e7989b4663df1811.d: crates/linalg/src/lib.rs crates/linalg/src/bidiag_svd.rs crates/linalg/src/cholesky.rs crates/linalg/src/gemm.rs crates/linalg/src/generate.rs crates/linalg/src/givens.rs crates/linalg/src/householder.rs crates/linalg/src/lowp.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/verify.rs
+
+/root/repo/target/release/deps/wsvd_linalg-e7989b4663df1811: crates/linalg/src/lib.rs crates/linalg/src/bidiag_svd.rs crates/linalg/src/cholesky.rs crates/linalg/src/gemm.rs crates/linalg/src/generate.rs crates/linalg/src/givens.rs crates/linalg/src/householder.rs crates/linalg/src/lowp.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/verify.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/bidiag_svd.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/gemm.rs:
+crates/linalg/src/generate.rs:
+crates/linalg/src/givens.rs:
+crates/linalg/src/householder.rs:
+crates/linalg/src/lowp.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wsvd_trace-159c79ffe88732bf.d: crates/trace/src/lib.rs
+
+/root/repo/target/release/deps/wsvd_trace-159c79ffe88732bf: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

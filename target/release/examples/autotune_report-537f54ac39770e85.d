@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autotune_report-537f54ac39770e85.d: examples/autotune_report.rs
+
+/root/repo/target/release/examples/autotune_report-537f54ac39770e85: examples/autotune_report.rs
+
+examples/autotune_report.rs:

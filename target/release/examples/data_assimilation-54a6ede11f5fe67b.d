@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/data_assimilation-54a6ede11f5fe67b.d: examples/data_assimilation.rs
+
+/root/repo/target/release/examples/data_assimilation-54a6ede11f5fe67b: examples/data_assimilation.rs
+
+examples/data_assimilation.rs:

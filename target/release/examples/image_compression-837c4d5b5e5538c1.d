@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_compression-837c4d5b5e5538c1.d: examples/image_compression.rs
+
+/root/repo/target/release/examples/image_compression-837c4d5b5e5538c1: examples/image_compression.rs
+
+examples/image_compression.rs:

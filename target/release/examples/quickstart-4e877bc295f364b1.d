@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4e877bc295f364b1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4e877bc295f364b1: examples/quickstart.rs
+
+examples/quickstart.rs:

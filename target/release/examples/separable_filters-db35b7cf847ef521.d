@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/separable_filters-db35b7cf847ef521.d: examples/separable_filters.rs
+
+/root/repo/target/release/examples/separable_filters-db35b7cf847ef521: examples/separable_filters.rs
+
+examples/separable_filters.rs:
