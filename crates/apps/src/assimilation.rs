@@ -79,17 +79,30 @@ impl AnalysisResult {
     }
 }
 
-/// Runs the analysis step with the chosen SVD engine.
+/// Runs the analysis step with the chosen SVD engine under the process-wide
+/// default [`WCycleConfig`].
 pub fn analysis_step(
     gpu: &Gpu,
     problem: &AssimilationProblem,
     engine: SvdEngine,
 ) -> Result<AnalysisResult, KernelError> {
+    analysis_step_with(gpu, problem, engine, &WCycleConfig::default())
+}
+
+/// Runs the analysis step with an explicit [`WCycleConfig`] (only consulted
+/// by the W-cycle engine). This is how experiments opt a single run into the
+/// fused launch pipeline without flipping the process-wide default.
+pub fn analysis_step_with(
+    gpu: &Gpu,
+    problem: &AssimilationProblem,
+    engine: SvdEngine,
+    cfg: &WCycleConfig,
+) -> Result<AnalysisResult, KernelError> {
     let before = gpu.elapsed_seconds();
     // (u, sigma, v) triplets per point.
     let factors: Vec<(Matrix, Vec<f64>, Matrix)> = match engine {
         SvdEngine::WCycle => {
-            let out = wcycle_svd(gpu, &problem.anomalies, &WCycleConfig::default())?;
+            let out = wcycle_svd(gpu, &problem.anomalies, cfg)?;
             out.results
                 .into_iter()
                 .map(|r| {
@@ -148,6 +161,17 @@ pub fn analysis_step_distributed(
     problem: &AssimilationProblem,
     engine: SvdEngine,
 ) -> Result<AnalysisResult, KernelError> {
+    analysis_step_distributed_with(cluster, problem, engine, &WCycleConfig::default())
+}
+
+/// Distributed analysis step with an explicit [`WCycleConfig`] for the
+/// per-shard SVDs (see [`analysis_step_with`]).
+pub fn analysis_step_distributed_with(
+    cluster: &wsvd_gpu_sim::GpuCluster,
+    problem: &AssimilationProblem,
+    engine: SvdEngine,
+    cfg: &WCycleConfig,
+) -> Result<AnalysisResult, KernelError> {
     let indices: Vec<usize> = (0..problem.anomalies.len()).collect();
     let shards = cluster.shard(&indices);
     let mut weights: Vec<Option<Vec<f64>>> = vec![None; problem.anomalies.len()];
@@ -166,7 +190,7 @@ pub fn analysis_step_distributed(
                 .map(|&i| problem.innovations[i].clone())
                 .collect(),
         };
-        let local_result = analysis_step(cluster.gpu(rank), &local, engine)?;
+        let local_result = analysis_step_with(cluster.gpu(rank), &local, engine, cfg)?;
         for (&i, w) in shard.iter().zip(local_result.weights) {
             gathered_bytes += (w.len() * 8) as u64;
             weights[i] = Some(w);
@@ -258,6 +282,36 @@ mod tests {
         );
         let (w1, w4) = (time(1, SvdEngine::WCycle), time(4, SvdEngine::WCycle));
         assert!(w4 <= w1 + 1e-4, "sharding must never hurt: {w4} vs {w1}");
+    }
+
+    #[test]
+    fn fused_distributed_analysis_is_bit_identical_and_no_slower() {
+        // Sizes above the shared-memory fit so each level issues several
+        // kernels — the regime where a fused graph has launches to coalesce.
+        let p = AssimilationProblem::generate(8, 40, 120, 23);
+        let serial_cfg = WCycleConfig {
+            fused: false,
+            ..WCycleConfig::default()
+        };
+        let fused_cfg = WCycleConfig {
+            fused: true,
+            ..WCycleConfig::default()
+        };
+        let run = |cfg: &WCycleConfig| {
+            let cluster = GpuCluster::new(VEGA20, 4);
+            let res = analysis_step_distributed_with(&cluster, &p, SvdEngine::WCycle, cfg).unwrap();
+            let share: f64 = (0..4)
+                .map(|r| cluster.gpu(r).timeline().overhead_seconds)
+                .sum();
+            (res, share)
+        };
+        let (serial, serial_overhead) = run(&serial_cfg);
+        let (fused, fused_overhead) = run(&fused_cfg);
+        for (a, b) in serial.weights.iter().zip(&fused.weights) {
+            assert_eq!(a, b, "fusing must not perturb the analysis weights");
+        }
+        assert!(fused_overhead < serial_overhead);
+        assert!(fused.svd_seconds <= serial.svd_seconds);
     }
 
     #[test]

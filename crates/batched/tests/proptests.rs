@@ -86,3 +86,54 @@ proptest! {
         prop_assert!(tlp(&small, &bigger) > tlp(&small, &sizes));
     }
 }
+
+fn arb_mixed_sizes() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    // Mixed-size multisets, the Table VI shape the plan cache exists for.
+    prop::collection::vec((8usize..512, 8usize..512), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn plan_cache_equals_fresh_auto_tune(
+        sizes in arb_mixed_sizes(), thr in 0.0f64..1e7
+    ) {
+        // A cache hit, a cold miss, and a permuted-key hit must all agree
+        // with the uncached engine (the cache is pure memoization).
+        let cache = wsvd_batched::PlanCache::new();
+        let fresh = auto_tune(&sizes, thr);
+        let miss = cache.lookup_or_tune(&sizes, thr, 48);
+        let hit = cache.lookup_or_tune(&sizes, thr, 48);
+        let mut permuted = sizes.clone();
+        permuted.reverse();
+        let permuted_hit = cache.lookup_or_tune(&permuted, thr, 48);
+        prop_assert_eq!(miss, fresh);
+        prop_assert_eq!(hit, fresh);
+        // Multiset key must be order-insensitive.
+        prop_assert_eq!(permuted_hit, fresh);
+        prop_assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn plan_cache_respects_w_cap(
+        sizes in arb_mixed_sizes(), thr in 0.0f64..1e7, cap_idx in 0usize..4
+    ) {
+        let w_cap = [8usize, 16, 24, 48][cap_idx];
+        let cache = wsvd_batched::PlanCache::new();
+        let plan = cache.lookup_or_tune(&sizes, thr, w_cap);
+        prop_assert_eq!(plan, wsvd_batched::auto_tune_with_w_cap(&sizes, thr, w_cap));
+        prop_assert!(plan.w <= w_cap);
+    }
+
+    #[test]
+    fn auto_tune_is_permutation_invariant(
+        sizes in arb_mixed_sizes(), thr in 0.0f64..1e7
+    ) {
+        // The property that makes the sorted-multiset cache key sound.
+        let mut shuffled = sizes.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(sizes.len() / 2);
+        prop_assert_eq!(auto_tune(&sizes, thr), auto_tune(&shuffled, thr));
+    }
+}

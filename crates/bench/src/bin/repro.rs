@@ -7,6 +7,7 @@
 //!   repro --all [--scale reduced|full] [--json DIR] [--trace FILE]
 //!   repro --check DIR [<id> ...]     # regression-compare against stored JSON
 //!   repro --sanitize [<id> ...]      # run under the wsvd-sanitizer (default: fig7)
+//!   repro --fused [<id> ...]         # run with the fused launch pipeline on
 //! ```
 //!
 //! `--trace FILE` records every simulated kernel launch, W-cycle sweep and
@@ -18,6 +19,13 @@
 //! memory races, barrier divergence, leaked buffers) and static schedule /
 //! shared-memory verification for every simulated launch, then exits
 //! non-zero if any violation was reported. Equivalent to `WSVD_SANITIZE=1`.
+//!
+//! `--fused` makes every W-cycle run record its per-level launches into a
+//! [`wsvd_gpu_sim::LaunchGraph`], paying the driver's launch overhead once
+//! per level instead of once per kernel (back-to-back same-shape launches
+//! coalesce onto already-resident SM slots). Counters and numerics are
+//! bit-identical to the serial pipeline; simulated time can only improve,
+//! so fused baselines live in their own directory (`repro_results/fused/`).
 
 use std::io::Write;
 use wsvd_bench::{all_experiments, Report, Scale};
@@ -31,6 +39,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
     let mut sanitize = false;
+    let mut fused = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,8 +61,13 @@ fn main() {
             "--check" => check_dir = Some(it.next().expect("--check needs a directory")),
             "--trace" => trace_path = Some(it.next().expect("--trace needs a file")),
             "--sanitize" => sanitize = true,
+            "--fused" => fused = true,
             other => ids.push(other.to_string()),
         }
+    }
+    // Flip the fused default before any experiment builds a `WCycleConfig`.
+    if fused {
+        wsvd_core::set_fused_default(true);
     }
     // Like the trace sink, the sanitize mode must be set before the first
     // `Gpu` is constructed — every later GPU resolves it at build time.
@@ -122,7 +136,7 @@ fn main() {
         std::process::exit(if failed > 0 { 1 } else { 0 });
     }
     if ids.is_empty() {
-        eprintln!("usage: repro --all | <id>... [--scale reduced|full] [--json DIR]");
+        eprintln!("usage: repro --all | <id>... [--scale reduced|full] [--json DIR] [--fused]");
         eprintln!("known ids:");
         for (id, _) in &experiments {
             eprintln!("  {id}");

@@ -8,6 +8,9 @@
 //! * `ext-sanitize` — the wsvd-sanitizer in action: the fig7 workload under
 //!   full hazard checking (clean), plus planted-bug kernels and schedules
 //!   proving every hazard class is actually detected.
+//! * `ext-fused` — the fused launch pipeline on the launch-bound rows the
+//!   repro tables expose: fig9's batch-1 columns and fig14b's sharded
+//!   cluster, serial vs fused, with the overhead share each pays.
 
 use wsvd_core::{wcycle_svd, AlphaSelect, Tuning, WCycleConfig};
 use wsvd_gpu_sim::{Gpu, V100};
@@ -392,6 +395,109 @@ pub fn ext_sanitize(scale: Scale) -> Report {
     rep
 }
 
+/// The fused launch pipeline (extension): replays each W-cycle level as one
+/// [`wsvd_gpu_sim::LaunchGraph`] and measures what that buys on the two
+/// launch-bound shapes the repro tables expose — fig9's batch-1 columns
+/// (where per-kernel overhead swamps the tiny kernels) and fig14b's
+/// cluster-sharded assimilation (where sharding shrinks each device's batch
+/// back into the launch-bound regime). Serial and fused runs use identical
+/// matrices; kernel times and numerics are bit-identical by construction, so
+/// every gap in the table is launch overhead.
+pub fn ext_fused(scale: Scale) -> Report {
+    use wsvd_apps::{analysis_step_distributed_with, AssimilationProblem, SvdEngine};
+    use wsvd_baselines::magma_batched_svd;
+    use wsvd_gpu_sim::{GpuCluster, VEGA20};
+
+    let mut rep = Report::new(
+        "ext-fused",
+        "Fused launch pipeline on launch-bound workloads (extension)",
+        &scale.note("fig9 batch-1/batch-40 shapes plus the fig14b 4-GPU shard"),
+        &[
+            "workload",
+            "MAGMA",
+            "W-cycle",
+            "fused W-cycle",
+            "speedup",
+            "fused speedup",
+            "overhead%",
+        ],
+        "batch-1 rows are launch-bound: fusing moves them from MAGMA parity toward the paper's >=2.78x",
+    );
+    let serial_cfg = WCycleConfig {
+        fused: false,
+        ..WCycleConfig::default()
+    };
+    let fused_cfg = WCycleConfig {
+        fused: true,
+        ..WCycleConfig::default()
+    };
+
+    // Part A: fig9 rows (same sizes and seeds as the fig9 experiment). The
+    // MAGMA column is this PR-invariant yardstick: the paper's fig9 reports
+    // the W-cycle >=2.78x ahead at batch 1, while the serial pipeline sits
+    // near parity — the fused column is the row moving toward that shape.
+    let sizes: &[usize] = scale.pick(&[64usize, 128][..], &[128, 256, 512][..]);
+    let deep_batch = scale.pick(40usize, 100);
+    let mut shapes: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, 1)).collect();
+    shapes.push((sizes[sizes.len() - 1], deep_batch));
+    for (n, batch) in shapes {
+        let mats = random_batch(batch, n, n, (3 * n + batch) as u64);
+        let magma = {
+            let gpu = Gpu::new(V100);
+            magma_batched_svd(&gpu, &mats).unwrap();
+            gpu.elapsed_seconds()
+        };
+        let run = |cfg: &WCycleConfig| {
+            let gpu = Gpu::new(V100);
+            wcycle_svd(&gpu, &mats, cfg).unwrap();
+            let t = gpu.timeline();
+            (t.seconds, t.overhead_share())
+        };
+        let (ts, os) = run(&serial_cfg);
+        let (tf, of) = run(&fused_cfg);
+        rep.push_row(vec![
+            format!("{batch} matrix(es) of {n}x{n}"),
+            fmt_secs(magma),
+            fmt_secs(ts),
+            fmt_secs(tf),
+            crate::report::fmt_speedup(magma, ts),
+            crate::report::fmt_speedup(magma, tf),
+            format!("{:.1}% -> {:.1}%", 100.0 * os, 100.0 * of),
+        ]);
+    }
+
+    // Part B: the fig14b 4-GPU shard (same generator and seed as fig14b).
+    // Sharding shrinks each device's batch back into the launch-bound
+    // regime, which is why the serial W-cycle "gains less from sharding".
+    let (min_dim, max_dim) = scale.pick((24usize, 112usize), (50, 1024));
+    let points = scale.pick(24usize, 64);
+    let problem = AssimilationProblem::generate(points, min_dim, max_dim, 4242);
+    let run = |engine: SvdEngine, cfg: &WCycleConfig| {
+        let cluster = GpuCluster::new(VEGA20, 4);
+        let res = analysis_step_distributed_with(&cluster, &problem, engine, cfg).unwrap();
+        let (mut overhead, mut busy) = (0.0f64, 0.0f64);
+        for rank in 0..4 {
+            let t = cluster.gpu(rank).timeline();
+            overhead += t.overhead_seconds;
+            busy += t.seconds;
+        }
+        (res.svd_seconds, overhead / busy.max(f64::MIN_POSITIVE))
+    };
+    let (magma, _) = run(SvdEngine::Magma, &serial_cfg);
+    let (ts, os) = run(SvdEngine::WCycle, &serial_cfg);
+    let (tf, of) = run(SvdEngine::WCycle, &fused_cfg);
+    rep.push_row(vec![
+        format!("4x Vega20 shard, {points} grid points"),
+        fmt_secs(magma),
+        fmt_secs(ts),
+        fmt_secs(tf),
+        crate::report::fmt_speedup(magma, ts),
+        crate::report::fmt_speedup(magma, tf),
+        format!("{:.1}% -> {:.1}%", 100.0 * os, 100.0 * of),
+    ]);
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +598,58 @@ mod tests {
         );
         assert!(rep.rows[9][5].contains("smem leak"), "{:?}", rep.rows[9]);
         assert!(rep.rows[10][5].contains("column 1"), "{:?}", rep.rows[10]);
+    }
+
+    #[test]
+    fn fused_pipeline_pays_off_on_launch_bound_rows() {
+        let rep = ext_fused(Scale::Reduced);
+        // Rows: batch-1 n=64, batch-1 n=128, batch-40 n=128, 4-GPU shard.
+        // Columns: workload, MAGMA, serial, fused, serial-vs-MAGMA,
+        // fused-vs-MAGMA, "serial% -> fused%" overhead share.
+        assert_eq!(rep.rows.len(), 4);
+        let x = |cell: &str| -> f64 { cell.trim_end_matches('x').parse().unwrap() };
+        let shares = |cell: &str| -> (f64, f64) {
+            let (a, b) = cell.split_once(" -> ").unwrap();
+            (
+                a.trim_end_matches('%').parse().unwrap(),
+                b.trim_end_matches('%').parse().unwrap(),
+            )
+        };
+        for row in &rep.rows {
+            assert!(
+                x(&row[5]) >= x(&row[4]),
+                "fusing must never slow a run: {row:?}"
+            );
+            let (serial, fused) = shares(&row[6]);
+            assert!(
+                fused <= serial + 1e-9,
+                "fused overhead share must not grow: {row:?}"
+            );
+        }
+        // The acceptance row: fig9's batch-1 n=128 shape. Before this PR the
+        // serial W-cycle sat at MAGMA parity there (repro_results/fig9.json:
+        // MAGMA 3.586 ms vs W-cycle 3.574 ms, "1.00x"), so asserting the
+        // fused-vs-MAGMA ratio >= 1.5 against the PR-invariant MAGMA column
+        // pins a >= 1.5x total row movement (tuning-boundary fix + fusion;
+        // measured ~2.5x) toward the paper's >= 2.78x batch-1 curve.
+        assert!(
+            x(&rep.rows[1][5]) >= 1.5,
+            "batch-1 n=128 must move >= 1.5x vs MAGMA: {:?}",
+            rep.rows[1]
+        );
+        // Fusing alone must still buy a solid chunk of that on this row.
+        assert!(
+            x(&rep.rows[1][5]) >= 1.25 * x(&rep.rows[1][4]),
+            "fusing must pay >= 1.25x on the launch-bound row: {:?}",
+            rep.rows[1]
+        );
+        // The 4-GPU shard's overhead share must strictly drop.
+        let last = rep.rows.last().unwrap();
+        let (serial, fused) = shares(&last[6]);
+        assert!(
+            fused < serial,
+            "sharded overhead share must shrink: {last:?}"
+        );
     }
 
     #[test]

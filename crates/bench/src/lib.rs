@@ -52,5 +52,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-profile", exp_extensions::ext_profile),
         ("ext-trace", exp_extensions::ext_trace),
         ("ext-sanitize", exp_extensions::ext_sanitize),
+        ("ext-fused", exp_extensions::ext_fused),
     ]
 }

@@ -76,7 +76,30 @@ pub struct WCycleConfig {
     pub dynamic_ordering: bool,
     /// Threads per block for the SM SVD/EVD kernels.
     pub kernel_threads: usize,
+    /// Record each level's launches into a fused
+    /// [`wsvd_gpu_sim::LaunchGraph`]: the level pays the driver's launch
+    /// overhead once per graph plus a small per-node cost instead of the
+    /// full cost per kernel, with back-to-back same-shape launches
+    /// coalesced. Numerics, counters and kernel times are bit-identical to
+    /// the serial path — only the overhead account changes. Defaults to the
+    /// process-wide [`set_fused_default`] (off unless `repro --fused`).
+    pub fused: bool,
 }
+
+/// Process-wide default for [`WCycleConfig::fused`], set once by the host
+/// (e.g. `repro --fused`) before building configs. Mirrors the sanitizer's
+/// `set_global` pattern so paths that construct `WCycleConfig::default()`
+/// internally (the distributed assimilation driver) pick fusion up too.
+pub fn set_fused_default(on: bool) {
+    FUSED_DEFAULT.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current process-wide default for [`WCycleConfig::fused`].
+pub fn fused_default() -> bool {
+    FUSED_DEFAULT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static FUSED_DEFAULT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 impl Default for WCycleConfig {
     fn default() -> Self {
@@ -95,6 +118,7 @@ impl Default for WCycleConfig {
             qr_aspect_threshold: 3,
             dynamic_ordering: false,
             kernel_threads: 256,
+            fused: fused_default(),
         }
     }
 }

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod verify;
 pub mod wcycle;
 
-pub use config::{AlphaSelect, Tuning, WCycleConfig};
+pub use config::{fused_default, set_fused_default, AlphaSelect, Tuning, WCycleConfig};
 pub use stats::WCycleStats;
 pub use verify::{effective_width, verify_level, LevelCheck};
 pub use wcycle::{wcycle_svd, WCycleOutput, WSvd};

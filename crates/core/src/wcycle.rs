@@ -351,6 +351,10 @@ fn decompose_level(
     stats: &mut WCycleStats,
 ) -> Result<Vec<LevelOutcome>, KernelError> {
     let smem = gpu.device().smem_per_block_bytes;
+    // Fused pipeline: record this level's launches into one LaunchGraph so
+    // the driver's launch overhead is paid once per level, not per kernel.
+    // Recursive levels open nested scopes that join the enclosing graph.
+    let _graph = cfg.fused.then(|| gpu.launch_graph("wcycle level"));
     // Inner rotation generators must run tighter than the outer convergence
     // test, or the level's coherence plateaus just above `tol` (each pair
     // block would retain up-to-`tol` residual coherence internally).
@@ -1423,5 +1427,46 @@ mod tests {
         let t = gpu.timeline();
         assert!(t.seconds > 0.0);
         assert!(t.launches > 1);
+    }
+
+    #[test]
+    fn fused_levels_are_bit_identical_and_faster() {
+        // The fused pipeline only changes the timing account: numerics and
+        // counters must match the serial path bit for bit, while kernel time
+        // (coalesced blocks ride resident waves) and overhead both drop.
+        let mats = random_batch(3, 96, 96, 31);
+        let serial_gpu = Gpu::new(V100);
+        let serial = wcycle_svd(&serial_gpu, &mats, &WCycleConfig::default()).unwrap();
+        let fused_gpu = Gpu::new(V100);
+        let fused_cfg = WCycleConfig {
+            fused: true,
+            ..WCycleConfig::default()
+        };
+        let fused = wcycle_svd(&fused_gpu, &mats, &fused_cfg).unwrap();
+
+        for (s, f) in serial.results.iter().zip(&fused.results) {
+            assert_eq!(s.sigma, f.sigma, "fusion must not perturb numerics");
+            assert_eq!(s.u.as_slice(), f.u.as_slice());
+            assert_eq!(
+                s.v.as_ref().map(|v| v.as_slice()),
+                f.v.as_ref().map(|v| v.as_slice())
+            );
+        }
+        let st = serial_gpu.timeline();
+        let ft = fused_gpu.timeline();
+        assert_eq!(st.launches, ft.launches);
+        assert_eq!(st.totals, ft.totals);
+        assert!(
+            ft.kernel_seconds <= st.kernel_seconds,
+            "riding resident waves can only shrink kernel time"
+        );
+        assert!(ft.overhead_seconds < st.overhead_seconds);
+        assert!(ft.seconds < st.seconds);
+
+        let g = fused_gpu.graph_stats();
+        assert!(g.graphs >= 1, "each level replays one graph");
+        assert!(g.nodes > 0);
+        assert!(g.overhead_saved_seconds > 0.0);
+        assert_eq!(serial_gpu.graph_stats().graphs, 0);
     }
 }

@@ -88,9 +88,16 @@ impl GpuCluster {
     /// latency plus `bytes` over the slowest link.
     pub fn sync(&self, bytes: u64) {
         let secs = self.sync_latency + bytes as f64 / self.link_bandwidth;
-        let bits = f64::to_bits(self.elapsed_sync_seconds() + secs);
+        // CAS loop over the f64 bits: collectives issued concurrently from
+        // different shards must each land their increment (a plain
+        // load-add-store here loses updates under contention).
         self.sync_seconds
-            .store(bits, std::sync::atomic::Ordering::Relaxed);
+            .fetch_update(
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+                |bits| Some(f64::to_bits(f64::from_bits(bits) + secs)),
+            )
+            .expect("fetch_update closure always returns Some");
         if self.trace.is_enabled() {
             self.trace.span(
                 self.trace_pid,
@@ -191,6 +198,36 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         let _ = GpuCluster::new(VEGA20, 0);
+    }
+
+    #[test]
+    fn concurrent_syncs_lose_no_updates() {
+        // Regression: `sync` used to read-modify-write `sync_seconds` with a
+        // plain load + store, so collectives racing from different shards
+        // dropped increments. The CAS loop must account for every call.
+        let c = std::sync::Arc::new(GpuCluster::new(VEGA20, 4));
+        let threads = 8;
+        let per_thread = 250;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.sync(1_000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let per_call = c.sync_latency + 1_000.0 / c.link_bandwidth;
+        let want = (threads * per_thread) as f64 * per_call;
+        let got = c.elapsed_sync_seconds();
+        assert!(
+            (got - want).abs() < want * 1e-12,
+            "lost sync updates: got {got}, want {want}"
+        );
     }
 
     #[test]

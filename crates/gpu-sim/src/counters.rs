@@ -70,6 +70,13 @@ pub struct Timeline {
     pub seconds: f64,
     /// Number of kernel launches.
     pub launches: u64,
+    /// Launch-overhead seconds included in `seconds` (the part a fused
+    /// [`crate::LaunchGraph`] amortizes).
+    pub overhead_seconds: f64,
+    /// Kernel-execution seconds included in `seconds`. Accumulated in launch
+    /// order; a fused [`crate::LaunchGraph`] can only shrink it (coalesced
+    /// blocks riding resident waves), never change counters or numerics.
+    pub kernel_seconds: f64,
     /// Sum of all block counters across all launches.
     pub totals: BlockCounters,
     /// Thread-seconds of resident occupancy, for time-weighted occupancy.
@@ -81,8 +88,19 @@ impl Timeline {
     pub fn record(&mut self, stats: &LaunchStats) {
         self.seconds += stats.seconds();
         self.launches += 1;
+        self.overhead_seconds += stats.overhead_seconds;
+        self.kernel_seconds += stats.kernel_seconds;
         self.totals.merge(&stats.totals);
         self.occupancy_weighted += stats.occupancy * stats.seconds();
+    }
+
+    /// Fraction of total simulated time spent in launch overhead.
+    pub fn overhead_share(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.overhead_seconds / self.seconds
+        } else {
+            0.0
+        }
     }
 
     /// Time-weighted mean occupancy over all launches.
@@ -102,6 +120,8 @@ impl Timeline {
         Timeline {
             seconds: self.seconds - earlier.seconds,
             launches: self.launches.saturating_sub(earlier.launches),
+            overhead_seconds: self.overhead_seconds - earlier.overhead_seconds,
+            kernel_seconds: self.kernel_seconds - earlier.kernel_seconds,
             totals: BlockCounters {
                 flops: self.totals.flops.saturating_sub(earlier.totals.flops),
                 gm_load_bytes: self

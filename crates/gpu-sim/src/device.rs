@@ -36,6 +36,10 @@ pub struct DeviceSpec {
     pub load_width: usize,
     /// Fixed host-side cost of one kernel launch, in microseconds.
     pub launch_overhead_us: f64,
+    /// Per-node dispatch cost inside a replayed [`crate::LaunchGraph`], in
+    /// microseconds. CUDA-graph-style replay skips the host round-trip, so
+    /// this is roughly an order of magnitude below `launch_overhead_us`.
+    pub graph_node_overhead_us: f64,
     /// GEMM throughput multiplier from tensor cores (1.0 when absent).
     pub tensor_gemm_speedup: f64,
     /// Size in bytes of one global-memory transaction (coalescing unit).
@@ -91,6 +95,7 @@ pub const V100: DeviceSpec = DeviceSpec {
     gm_bytes_per_cycle: 652.0, // ~900 GB/s
     load_width: 4,
     launch_overhead_us: 5.0,
+    graph_node_overhead_us: 0.5,
     tensor_gemm_speedup: 1.0,
     gm_transaction_bytes: 32,
 };
@@ -109,6 +114,7 @@ pub const P100: DeviceSpec = DeviceSpec {
     gm_bytes_per_cycle: 550.0, // ~732 GB/s
     load_width: 4,
     launch_overhead_us: 5.5,
+    graph_node_overhead_us: 0.6,
     tensor_gemm_speedup: 1.0,
     gm_transaction_bytes: 32,
 };
@@ -127,6 +133,7 @@ pub const A100: DeviceSpec = DeviceSpec {
     gm_bytes_per_cycle: 1103.0, // ~1555 GB/s
     load_width: 4,
     launch_overhead_us: 4.0,
+    graph_node_overhead_us: 0.4,
     tensor_gemm_speedup: 2.0,
     gm_transaction_bytes: 32,
 };
@@ -145,6 +152,7 @@ pub const TITAN_X: DeviceSpec = DeviceSpec {
     gm_bytes_per_cycle: 336.0, // ~336 GB/s
     load_width: 4,
     launch_overhead_us: 6.0,
+    graph_node_overhead_us: 0.6,
     tensor_gemm_speedup: 1.0,
     gm_transaction_bytes: 32,
 };
@@ -163,6 +171,7 @@ pub const VEGA20: DeviceSpec = DeviceSpec {
     gm_bytes_per_cycle: 588.0, // ~1 TB/s HBM2
     load_width: 4,
     launch_overhead_us: 8.0,
+    graph_node_overhead_us: 0.8,
     tensor_gemm_speedup: 1.0,
     gm_transaction_bytes: 32,
 };
@@ -215,6 +224,20 @@ mod tests {
     fn a100_has_tensor_speedup() {
         assert!(A100.tensor_gemm_speedup > V100.tensor_gemm_speedup);
         assert_eq!(V100.tensor_gemm_speedup, 1.0);
+    }
+
+    #[test]
+    fn graph_node_cost_is_well_below_launch_cost() {
+        for d in ALL_DEVICES {
+            assert!(d.graph_node_overhead_us > 0.0, "{}", d.name);
+            assert!(
+                d.graph_node_overhead_us <= d.launch_overhead_us / 5.0,
+                "{}: node cost {} vs launch cost {}",
+                d.name,
+                d.graph_node_overhead_us,
+                d.launch_overhead_us
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Fused launch graphs: CUDA-graph-style amortization of launch overhead.
+//!
+//! The serial launch path charges every kernel the full host-side
+//! `launch_overhead_us` (see the `serial_loop_of_launches_pays_overhead`
+//! test). Real batched SVD solvers amortize that cost: they record a level's
+//! launch sequence once and replay it as a graph, paying the driver
+//! round-trip once per graph plus a small per-node dispatch cost, and
+//! back-to-back launches with the same block shape stay on the already
+//! resident SM slots.
+//!
+//! The simulator models this with a [`LaunchGraph`] scope obtained from
+//! [`crate::Gpu::launch_graph`]. Kernels issued while the scope is alive
+//! still execute eagerly (their data dependencies are real), so counters,
+//! sanitizer behaviour and numerics are bit-identical to the serial path —
+//! recording and replay collapse into a single pass because only the timing
+//! account changes:
+//!
+//! * the first node of a graph pays the full `launch_overhead_us` (the graph
+//!   launch itself),
+//! * every later node pays `graph_node_overhead_us`,
+//! * a node whose `(threads_per_block, smem_bytes_per_block)` shape matches
+//!   the previous node coalesces: it pays no dispatch cost, and as many of
+//!   its blocks as fit in the free slots of the run's last resident wave
+//!   ride that wave instead of opening a new one (the batched-kernel idiom:
+//!   what the serial path issues as separate small grids becomes one larger
+//!   grid filling the device). Riding blocks add no makespan — the model
+//!   assumes same-shape neighbours have comparable block durations, which
+//!   holds for the per-sweep/per-level kernels the W-cycle emits.
+//!
+//! Scopes nest: a recursive W-cycle level opened inside an enclosing scope
+//! joins the enclosing graph (a child graph), so the outer graph's single
+//! launch cost covers the whole recursion tree.
+
+/// Cumulative statistics over all launch graphs replayed on one [`crate::Gpu`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GraphStats {
+    /// Completed outermost graphs that recorded at least one node.
+    pub graphs: u64,
+    /// Kernel launches recorded as graph nodes.
+    pub nodes: u64,
+    /// Nodes that coalesced with the preceding same-shape node.
+    pub coalesced: u64,
+    /// Blocks that rode an already-resident wave instead of opening one.
+    pub ride_blocks: u64,
+    /// Total launch-overhead seconds avoided relative to serial launches.
+    pub overhead_saved_seconds: f64,
+    /// Kernel seconds avoided by blocks riding resident waves.
+    pub overlap_saved_seconds: f64,
+}
+
+/// Per-[`crate::Gpu`] capture state. Owned by the `Gpu` behind a mutex; the
+/// lock order is deterministic because launches inside a fused scope are
+/// issued serially by the host-side algorithm (block bodies never launch).
+#[derive(Debug, Default)]
+pub(crate) struct GraphState {
+    /// Nesting depth of open [`LaunchGraph`] scopes.
+    depth: usize,
+    /// Nodes recorded since the outermost scope opened.
+    open_nodes: u64,
+    /// Coalesced nodes since the outermost scope opened.
+    open_coalesced: u64,
+    /// Shape of the previous node, for coalescing.
+    last_shape: Option<(usize, usize)>,
+    /// Blocks occupying the last (possibly partial) slot wave of the current
+    /// same-shape run; coalesced successors fill `slots - resident` for free.
+    resident: usize,
+    /// Finished-graph totals.
+    stats: GraphStats,
+}
+
+impl GraphState {
+    /// True when a fused scope is open and launches record as graph nodes.
+    pub(crate) fn capturing(&self) -> bool {
+        self.depth > 0
+    }
+
+    pub(crate) fn begin(&mut self) {
+        self.depth += 1;
+    }
+
+    /// Closes one scope; returns the finished graph's `(nodes, coalesced)`
+    /// when the outermost scope closes with at least one node recorded.
+    pub(crate) fn end(&mut self) -> Option<(u64, u64)> {
+        debug_assert!(self.depth > 0, "unbalanced LaunchGraph scope");
+        self.depth = self.depth.saturating_sub(1);
+        if self.depth > 0 {
+            return None;
+        }
+        let nodes = self.open_nodes;
+        let coalesced = self.open_coalesced;
+        self.open_nodes = 0;
+        self.open_coalesced = 0;
+        self.last_shape = None;
+        self.resident = 0;
+        if nodes == 0 {
+            return None;
+        }
+        self.stats.graphs += 1;
+        self.stats.nodes += nodes;
+        self.stats.coalesced += coalesced;
+        Some((nodes, coalesced))
+    }
+
+    /// Accounts one launch of `grid` blocks issued while capturing, on a
+    /// device with `slots` concurrent block slots for this shape. Returns
+    /// `(overhead_seconds, ride_blocks)`: the dispatch cost to charge, and
+    /// how many leading blocks ride the already-resident wave (contributing
+    /// no makespan). `full` / `node` are the device's serial-launch and
+    /// graph-node costs in seconds.
+    pub(crate) fn charge_node(
+        &mut self,
+        shape: (usize, usize),
+        grid: usize,
+        slots: usize,
+        full: f64,
+        node: f64,
+    ) -> (f64, usize) {
+        debug_assert!(self.capturing());
+        self.open_nodes += 1;
+        let same = self.last_shape == Some(shape);
+        let (charged, ride) = if self.open_nodes == 1 {
+            (full, 0) // the graph launch itself
+        } else if same {
+            self.open_coalesced += 1;
+            let free = slots.saturating_sub(self.resident).min(grid);
+            (0.0, free)
+        } else {
+            (node, 0)
+        };
+        // Occupancy of the run's last wave after this node's blocks land.
+        let run_blocks = if same { self.resident + grid } else { grid };
+        self.resident = if slots == 0 || run_blocks == 0 {
+            0
+        } else {
+            (run_blocks - 1) % slots + 1
+        };
+        self.last_shape = Some(shape);
+        self.stats.ride_blocks += ride as u64;
+        self.stats.overhead_saved_seconds += full - charged;
+        (charged, ride)
+    }
+
+    /// Credits kernel seconds avoided by riding blocks (recorded by the
+    /// launch path once it has scheduled the non-riding remainder).
+    pub(crate) fn add_overlap_saved(&mut self, seconds: f64) {
+        self.stats.overlap_saved_seconds += seconds;
+    }
+
+    pub(crate) fn stats(&self) -> GraphStats {
+        self.stats
+    }
+}
+
+/// RAII scope for fused launch capture, returned by
+/// [`crate::Gpu::launch_graph`]. Kernels launched while this scope is alive
+/// become nodes of one launch graph; dropping the scope replays (closes) the
+/// graph. Nested scopes join the enclosing graph.
+#[must_use = "launches fuse only while the LaunchGraph scope is alive"]
+pub struct LaunchGraph<'a> {
+    pub(crate) gpu: &'a crate::Gpu,
+    pub(crate) label: &'static str,
+}
+
+impl Drop for LaunchGraph<'_> {
+    fn drop(&mut self) {
+        self.gpu.end_launch_graph(self.label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: f64 = 5e-6;
+    const NODE: f64 = 5e-7;
+
+    #[test]
+    fn empty_graph_records_nothing() {
+        let mut g = GraphState::default();
+        g.begin();
+        assert!(g.capturing());
+        assert_eq!(g.end(), None);
+        assert_eq!(g.stats(), GraphStats::default());
+    }
+
+    #[test]
+    fn first_node_pays_full_then_node_then_coalesces() {
+        let mut g = GraphState::default();
+        g.begin();
+        assert_eq!(g.charge_node((256, 1024), 1, 16, FULL, NODE), (FULL, 0));
+        assert_eq!(g.charge_node((128, 1024), 1, 16, FULL, NODE), (NODE, 0));
+        assert_eq!(g.charge_node((128, 1024), 1, 16, FULL, NODE), (0.0, 1));
+        assert_eq!(g.end(), Some((3, 1)));
+        let s = g.stats();
+        assert_eq!(s.graphs, 1);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.ride_blocks, 1);
+        assert!((s.overhead_saved_seconds - ((FULL - NODE) + FULL)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn riding_is_capped_by_free_slots() {
+        let mut g = GraphState::default();
+        g.begin();
+        // 3 blocks on a 4-slot device: one partial wave, 1 slot free.
+        assert_eq!(g.charge_node((64, 0), 3, 4, FULL, NODE), (FULL, 0));
+        // 5 more same-shape blocks: 1 rides the free slot, 4 open new waves;
+        // the run now holds 8 blocks = two full waves, no free slot.
+        assert_eq!(g.charge_node((64, 0), 5, 4, FULL, NODE), (0.0, 1));
+        // Next same-shape node finds no free slot to ride.
+        assert_eq!(g.charge_node((64, 0), 2, 4, FULL, NODE), (0.0, 0));
+        // A shape change resets residency (new kernel, new waves).
+        assert_eq!(g.charge_node((128, 0), 2, 4, FULL, NODE), (NODE, 0));
+        assert_eq!(g.end(), Some((4, 2)));
+        assert_eq!(g.stats().ride_blocks, 1);
+    }
+
+    #[test]
+    fn nested_scopes_join_one_graph() {
+        let mut g = GraphState::default();
+        g.begin();
+        g.charge_node((64, 0), 1, 16, FULL, NODE);
+        g.begin();
+        g.charge_node((64, 0), 1, 16, FULL, NODE);
+        assert_eq!(g.end(), None, "inner scope must not close the graph");
+        assert!(g.capturing());
+        assert_eq!(g.end(), Some((2, 1)));
+        assert_eq!(g.stats().graphs, 1);
+    }
+
+    #[test]
+    fn coalescing_resets_across_graphs() {
+        let mut g = GraphState::default();
+        g.begin();
+        g.charge_node((64, 0), 1, 16, FULL, NODE);
+        g.end();
+        g.begin();
+        // Same shape as the last node of the previous graph, but a new graph
+        // pays its own launch cost: residency does not survive replay.
+        assert_eq!(g.charge_node((64, 0), 1, 16, FULL, NODE), (FULL, 0));
+        assert_eq!(g.end(), Some((1, 0)));
+        assert_eq!(g.stats().graphs, 2);
+        assert_eq!(g.stats().coalesced, 0);
+    }
+}

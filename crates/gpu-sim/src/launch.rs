@@ -17,6 +17,7 @@ use wsvd_trace::TraceSink;
 
 use crate::counters::{BlockCounters, LaunchStats, Timeline};
 use crate::device::DeviceSpec;
+use crate::graph::{GraphState, GraphStats, LaunchGraph};
 use crate::profile::Profiler;
 use crate::sanitize::{
     bump_global_violations, BlockSanitizeOutcome, HazardTracker, SanitizeMode, SanitizerReport,
@@ -295,6 +296,7 @@ pub struct Gpu {
     trace_pid: u32,
     sanitize: SanitizeMode,
     sanitizer: Mutex<SanitizerReport>,
+    graph: Mutex<GraphState>,
 }
 
 impl Gpu {
@@ -326,6 +328,7 @@ impl Gpu {
             trace_pid,
             sanitize: SanitizeMode::resolved(),
             sanitizer: Mutex::new(SanitizerReport::default()),
+            graph: Mutex::new(GraphState::default()),
         }
     }
 
@@ -528,12 +531,25 @@ impl Gpu {
         } else {
             None
         };
-        let kernel_cycles = match &placements {
+        let full_cycles = match &placements {
             Some((makespan, _)) => *makespan,
             None => list_schedule(&durations, concurrent),
         };
+        let (overhead_seconds, ride) = self.charge_launch(&cfg, slots);
+        // Blocks riding the previous same-shape node's resident wave add no
+        // makespan: only the remainder opens new waves. (`ride > 0` only
+        // inside a fused scope, so the serial path is untouched.)
+        let kernel_cycles = if ride == 0 {
+            full_cycles
+        } else {
+            list_schedule(&durations[ride.min(durations.len())..], concurrent)
+        };
         let kernel_seconds = kernel_cycles / (d.clock_ghz * 1e9);
-        let overhead_seconds = d.launch_overhead_us * 1e-6;
+        if ride > 0 {
+            self.graph
+                .lock()
+                .add_overlap_saved((full_cycles - kernel_cycles) / (d.clock_ghz * 1e9));
+        }
 
         let mut totals = BlockCounters::default();
         for c in &blocks {
@@ -554,6 +570,79 @@ impl Gpu {
         self.timeline.lock().record(&stats);
         self.profiler.lock().record(cfg.label, &stats);
         Ok(stats)
+    }
+
+    /// Launch accounting for one kernel: the full per-call driver cost (and
+    /// no riding blocks) on the serial path, or the graph-node accounting of
+    /// [`LaunchGraph`] while a fused scope is open. Returns
+    /// `(overhead_seconds, ride_blocks)`; riding blocks occupy slots the
+    /// previous same-shape node left free and add no makespan. Counters and
+    /// numerics are never affected — only the timing account changes.
+    fn charge_launch(&self, cfg: &KernelConfig, slots: usize) -> (f64, usize) {
+        let d = &self.device;
+        let full = d.launch_overhead_us * 1e-6;
+        let mut g = self.graph.lock();
+        if !g.capturing() {
+            return (full, 0);
+        }
+        g.charge_node(
+            (cfg.threads_per_block, cfg.smem_bytes_per_block),
+            cfg.grid,
+            slots,
+            full,
+            d.graph_node_overhead_us * 1e-6,
+        )
+    }
+
+    /// Opens a fused launch scope: kernels launched while the returned
+    /// [`LaunchGraph`] is alive are recorded as nodes of one graph and pay
+    /// the full launch overhead once (first node) plus a small per-node
+    /// dispatch cost. Back-to-back same-shape launches coalesce onto the
+    /// already-resident SM slots: they pay no dispatch cost and their
+    /// leading blocks fill the free slots of the previous node's last wave,
+    /// adding no makespan (see [`crate::graph`]). Counters, numerics and
+    /// sanitizer behaviour stay bit-identical to serial launches. Scopes
+    /// nest; an inner scope joins the enclosing graph. Dropping the scope
+    /// replays (closes) the graph and, when tracing, emits a `launch-graph`
+    /// instant and counter samples.
+    pub fn launch_graph(&self, label: &'static str) -> LaunchGraph<'_> {
+        self.graph.lock().begin();
+        LaunchGraph { gpu: self, label }
+    }
+
+    /// Closes one fused scope (called by [`LaunchGraph::drop`]).
+    pub(crate) fn end_launch_graph(&self, label: &'static str) {
+        let finished = self.graph.lock().end();
+        if let Some((nodes, coalesced)) = finished {
+            if self.trace.is_enabled() {
+                let now = self.timeline.lock().seconds;
+                let stats = self.graph.lock().stats();
+                self.trace.instant(
+                    self.trace_pid,
+                    "launch-graph",
+                    label,
+                    now,
+                    vec![
+                        ("nodes", nodes.into()),
+                        ("coalesced", coalesced.into()),
+                        ("overhead_saved_s", stats.overhead_saved_seconds.into()),
+                        ("overlap_saved_s", stats.overlap_saved_seconds.into()),
+                    ],
+                );
+                self.trace.counter(
+                    self.trace_pid,
+                    "launch-graph",
+                    "graphs",
+                    now,
+                    stats.graphs as f64,
+                );
+            }
+        }
+    }
+
+    /// Cumulative launch-graph statistics for this GPU.
+    pub fn graph_stats(&self) -> GraphStats {
+        self.graph.lock().stats()
     }
 
     /// Emits the launch's trace events: one kernel span, per-SM-slot block
@@ -1111,5 +1200,132 @@ mod tests {
         assert_eq!(t.launches, 10);
         // Overhead dominates: at least 10 * 5 µs.
         assert!(t.seconds >= 50e-6);
+    }
+
+    // Ten tiny launches, optionally inside one fused scope, with alternating
+    // shapes so coalescing triggers on the repeated pairs.
+    fn ten_launches(gpu: &Gpu, fused: bool) -> Vec<LaunchStats> {
+        let scope = fused.then(|| gpu.launch_graph("ten"));
+        let mut all = Vec::new();
+        for k in 0..10 {
+            let threads = if k % 4 < 2 { 32 } else { 64 };
+            let cfg = KernelConfig::new(1, threads, 256, "tiny");
+            let (_, stats) = gpu
+                .launch_collect(cfg, |_, ctx| {
+                    ctx.serial_step(10 + k as u64);
+                    Ok(())
+                })
+                .unwrap();
+            all.push(stats);
+        }
+        drop(scope);
+        all
+    }
+
+    #[test]
+    fn fused_scope_amortizes_overhead_and_overlaps_coalesced_launches() {
+        let serial_gpu = Gpu::new(V100);
+        let fused_gpu = Gpu::new(V100);
+        let serial = ten_launches(&serial_gpu, false);
+        let fused = ten_launches(&fused_gpu, true);
+        for (k, (s, f)) in serial.iter().zip(&fused).enumerate() {
+            assert_eq!(s.totals, f.totals, "counters are schedule-independent");
+            assert_eq!(s.occupancy.to_bits(), f.occupancy.to_bits());
+            // Shape pattern 32,32,64,64,…: odd launches coalesce with their
+            // predecessor; their single block rides the resident wave, so
+            // they add neither dispatch cost nor makespan. Non-coalesced
+            // launches keep bit-identical kernel time.
+            if k % 2 == 1 {
+                assert_eq!(f.kernel_seconds, 0.0, "riding block adds no time");
+                assert_eq!(f.overhead_seconds, 0.0);
+            } else {
+                assert_eq!(s.kernel_seconds.to_bits(), f.kernel_seconds.to_bits());
+            }
+        }
+        let st = serial_gpu.timeline();
+        let ft = fused_gpu.timeline();
+        assert_eq!(st.launches, ft.launches);
+        assert_eq!(
+            st.totals, ft.totals,
+            "fusion must not perturb the counter totals"
+        );
+        assert!(
+            ft.kernel_seconds < st.kernel_seconds,
+            "riding saves makespan"
+        );
+        // Serial: 10 full launches. Fused: 1 full + per-node costs, with the
+        // shape pattern 32,32,64,64,... coalescing every second launch.
+        assert!((st.overhead_seconds - 50e-6).abs() < 1e-12);
+        let full = V100.launch_overhead_us * 1e-6;
+        let node = V100.graph_node_overhead_us * 1e-6;
+        let want_fused = full + 4.0 * node; // 5 coalesced, 4 charged nodes
+        assert!(
+            (ft.overhead_seconds - want_fused).abs() < 1e-12,
+            "fused overhead {} vs expected {}",
+            ft.overhead_seconds,
+            want_fused
+        );
+        assert!(ft.seconds < st.seconds);
+
+        let g = fused_gpu.graph_stats();
+        assert_eq!(g.graphs, 1);
+        assert_eq!(g.nodes, 10);
+        assert_eq!(g.coalesced, 5);
+        assert_eq!(g.ride_blocks, 5, "each coalesced single-block launch rides");
+        assert!((g.overhead_saved_seconds - (st.overhead_seconds - want_fused)).abs() < 1e-12);
+        assert!((g.overlap_saved_seconds - (st.kernel_seconds - ft.kernel_seconds)).abs() < 1e-15);
+        assert_eq!(serial_gpu.graph_stats(), GraphStats::default());
+    }
+
+    #[test]
+    fn nested_fused_scopes_share_one_graph_launch() {
+        let gpu = Gpu::new(V100);
+        let outer = gpu.launch_graph("outer");
+        let run = |label: &'static str| {
+            let cfg = KernelConfig::new(1, 32, 256, label);
+            gpu.launch_collect(cfg, |_, ctx| {
+                ctx.serial_step(5);
+                Ok(())
+            })
+            .unwrap()
+            .1
+        };
+        let first = run("a");
+        {
+            let _inner = gpu.launch_graph("inner");
+            let nested = run("b");
+            // Same shape as the previous node: coalesced even across the
+            // nested-scope boundary (one graph).
+            assert_eq!(nested.overhead_seconds, 0.0);
+        }
+        let after = run("c");
+        assert_eq!(after.overhead_seconds, 0.0, "inner drop must not split");
+        assert!((first.overhead_seconds - V100.launch_overhead_us * 1e-6).abs() < 1e-18);
+        drop(outer);
+        assert_eq!(gpu.graph_stats().graphs, 1);
+        assert_eq!(gpu.graph_stats().nodes, 3);
+
+        // After the scope closes, launches pay full serial overhead again.
+        let serial = run("d");
+        assert!((serial.overhead_seconds - V100.launch_overhead_us * 1e-6).abs() < 1e-18);
+        assert_eq!(gpu.graph_stats().nodes, 3);
+    }
+
+    #[test]
+    fn traced_fused_run_emits_graph_instant() {
+        let sink = wsvd_trace::TraceSink::enabled();
+        let gpu = Gpu::with_trace(V100, sink.clone());
+        ten_launches(&gpu, true);
+        let evs = sink.events();
+        let graph_evs: Vec<_> = evs.iter().filter(|e| e.track == "launch-graph").collect();
+        assert!(
+            graph_evs
+                .iter()
+                .any(|e| matches!(e.kind, wsvd_trace::EventKind::Instant { .. })),
+            "expected a launch-graph instant, got {graph_evs:?}"
+        );
+        assert!(graph_evs
+            .iter()
+            .any(|e| matches!(e.kind, wsvd_trace::EventKind::Counter { .. })));
     }
 }

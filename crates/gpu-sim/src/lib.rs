@@ -21,6 +21,7 @@
 pub mod cluster;
 pub mod counters;
 pub mod device;
+pub mod graph;
 pub mod launch;
 pub mod profile;
 pub mod sanitize;
@@ -29,6 +30,7 @@ pub mod smem;
 pub use cluster::GpuCluster;
 pub use counters::{BlockCounters, LaunchStats, Timeline};
 pub use device::{DeviceSpec, A100, ALL_DEVICES, P100, TITAN_X, V100, VEGA20};
+pub use graph::{GraphStats, LaunchGraph};
 pub use launch::{BlockCtx, BlockPlacement, Gpu, KernelConfig, KernelError};
 pub use profile::{KernelProfile, Profiler};
 pub use sanitize::{

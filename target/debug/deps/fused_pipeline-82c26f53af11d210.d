@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fused_pipeline-82c26f53af11d210.d: tests/fused_pipeline.rs
+
+/root/repo/target/debug/deps/fused_pipeline-82c26f53af11d210: tests/fused_pipeline.rs
+
+tests/fused_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_pipeline-a4d9f56175f44fdc.d: tests/fused_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_pipeline-a4d9f56175f44fdc.rmeta: tests/fused_pipeline.rs Cargo.toml
+
+tests/fused_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/wsvd_gpu_sim-47b5b476e60efc8a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs Cargo.toml
+/root/repo/target/debug/deps/wsvd_gpu_sim-47b5b476e60efc8a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs Cargo.toml
 
-/root/repo/target/debug/deps/libwsvd_gpu_sim-47b5b476e60efc8a.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs Cargo.toml
+/root/repo/target/debug/deps/libwsvd_gpu_sim-47b5b476e60efc8a.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs Cargo.toml
 
 crates/gpu-sim/src/lib.rs:
 crates/gpu-sim/src/cluster.rs:
 crates/gpu-sim/src/counters.rs:
 crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/graph.rs:
 crates/gpu-sim/src/launch.rs:
 crates/gpu-sim/src/profile.rs:
 crates/gpu-sim/src/sanitize.rs:

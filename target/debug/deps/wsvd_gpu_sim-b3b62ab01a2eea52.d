@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/wsvd_gpu_sim-b3b62ab01a2eea52.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+/root/repo/target/debug/deps/wsvd_gpu_sim-b3b62ab01a2eea52.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
 
-/root/repo/target/debug/deps/wsvd_gpu_sim-b3b62ab01a2eea52: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+/root/repo/target/debug/deps/wsvd_gpu_sim-b3b62ab01a2eea52: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
 
 crates/gpu-sim/src/lib.rs:
 crates/gpu-sim/src/cluster.rs:
 crates/gpu-sim/src/counters.rs:
 crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/graph.rs:
 crates/gpu-sim/src/launch.rs:
 crates/gpu-sim/src/profile.rs:
 crates/gpu-sim/src/sanitize.rs:

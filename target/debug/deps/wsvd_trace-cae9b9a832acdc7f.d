@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsvd_trace-cae9b9a832acdc7f.d: crates/trace/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_trace-cae9b9a832acdc7f.rlib: crates/trace/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_trace-cae9b9a832acdc7f.rmeta: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

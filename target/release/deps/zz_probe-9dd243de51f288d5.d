@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zz_probe-9dd243de51f288d5.d: tests/zz_probe.rs
+
+/root/repo/target/release/deps/zz_probe-9dd243de51f288d5: tests/zz_probe.rs
+
+tests/zz_probe.rs:
