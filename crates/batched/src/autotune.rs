@@ -14,6 +14,7 @@ use std::sync::{Mutex, OnceLock};
 use wsvd_gpu_sim::Gpu;
 use wsvd_linalg::generate::random_uniform;
 use wsvd_linalg::Matrix;
+use wsvd_metrics::MetricsSink;
 use wsvd_trace::TraceSink;
 
 use crate::gemm::{batched_gram, batched_update, GemmStrategy};
@@ -111,7 +112,7 @@ fn pick(scored: &[(TailorPlan, f64)], threshold: f64) -> usize {
 /// W-cycle imposes the SM-fit bound `w_h <= 48` and level monotonicity
 /// `w_{h+1} < w_h`).
 pub fn auto_tune_with_w_cap(sizes: &[(usize, usize)], threshold: f64, w_cap: usize) -> TailorPlan {
-    auto_tune_with_w_cap_traced(sizes, threshold, w_cap, &TraceSink::disabled(), 0, 0, 0.0)
+    auto_tune_with_w_cap_traced(sizes, threshold, w_cap, &TuneTelemetry::disabled())
 }
 
 /// The uncached candidate walk: scored table plus selection. `chosen` is
@@ -193,15 +194,28 @@ impl PlanCache {
         threshold: f64,
         w_cap: usize,
     ) -> TailorPlan {
+        self.lookup_or_tune_counted(sizes, threshold, w_cap).0
+    }
+
+    /// Like [`PlanCache::lookup_or_tune`], additionally reporting whether
+    /// the lookup hit the cache — the per-call signal the metrics registry
+    /// records as an *increment*, fixing the process-cumulative semantics of
+    /// [`PlanCache::stats`] for per-run queries.
+    pub fn lookup_or_tune_counted(
+        &self,
+        sizes: &[(usize, usize)],
+        threshold: f64,
+        w_cap: usize,
+    ) -> (TailorPlan, bool) {
         let key = PlanKey::new(sizes, threshold, w_cap);
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return *plan;
+            return (*plan, true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (plan, _, _) = select_plan(sizes, threshold, w_cap);
         self.plans.lock().unwrap().insert(key, plan);
-        plan
+        (plan, false)
     }
 
     /// `(hits, misses)` so far.
@@ -223,26 +237,69 @@ impl PlanCache {
     }
 }
 
+/// Observability context for one auto-tuning call: where (and whether) to
+/// record trace events and registry metrics. Both sinks are cheap clones;
+/// disabled sinks make the call identical to the plain engine.
+#[derive(Clone, Default)]
+pub struct TuneTelemetry {
+    /// Trace sink for the `autotune`/`plan-cache` tracks.
+    pub trace: TraceSink,
+    /// Metrics sink for plan-cache counters and chosen-plan gauges.
+    pub metrics: MetricsSink,
+    /// Trace process id of the issuing GPU.
+    pub pid: u32,
+    /// W-cycle level of the workload being tuned.
+    pub level: usize,
+    /// Simulated time of the call, in seconds.
+    pub now: f64,
+}
+
+impl TuneTelemetry {
+    /// Telemetry that records nothing (both sinks disabled).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+}
+
 /// Like [`auto_tune_with_w_cap`], additionally emitting one `plan` instant
-/// on `trace` (track `autotune`, timestamp `now` in simulated seconds)
-/// carrying the chosen plan and the TLP scores of every candidate the
-/// engine rejected, plus `plan-cache` counter samples with the cumulative
-/// hit/miss counts of [`PlanCache::global`]. A disabled sink makes this
-/// identical to the untraced call.
+/// on the telemetry's trace sink (track `autotune`, timestamp `now` in
+/// simulated seconds) carrying the chosen plan and the TLP scores of every
+/// candidate the engine rejected, plus `plan-cache` counter samples with the
+/// cumulative hit/miss counts of [`PlanCache::global`] — and, on the
+/// telemetry's metrics sink, per-call hit/miss counter increments and
+/// chosen-plan gauges keyed by level. Disabled sinks make this identical to
+/// the untraced call.
 ///
-/// Both paths consult the global plan cache; the traced path re-runs the
+/// All paths consult the global plan cache; the traced path re-runs the
 /// scoring only to reconstruct the rejected-candidate table for the event,
 /// so cached and fresh selections stay observably identical.
 pub fn auto_tune_with_w_cap_traced(
     sizes: &[(usize, usize)],
     threshold: f64,
     w_cap: usize,
-    trace: &TraceSink,
-    pid: u32,
-    level: usize,
-    now: f64,
+    telemetry: &TuneTelemetry,
 ) -> TailorPlan {
-    let plan = PlanCache::global().lookup_or_tune(sizes, threshold, w_cap);
+    let (plan, hit) = PlanCache::global().lookup_or_tune_counted(sizes, threshold, w_cap);
+    let TuneTelemetry {
+        trace,
+        metrics,
+        pid,
+        level,
+        now,
+    } = telemetry;
+    let (pid, level, now) = (*pid, *level, *now);
+    if metrics.is_enabled() {
+        // Increments, not the cache's cumulative totals: a per-run sink (or
+        // a snapshot delta) then counts exactly this run's lookups even when
+        // the process-wide cache is already warm.
+        metrics.counter_add("plan-cache", None, if hit { "hits" } else { "misses" }, 1.0);
+        metrics.gauge_set("autotune", Some(level), "plan_w", plan.w as f64);
+        metrics.gauge_set("autotune", Some(level), "plan_delta", plan.delta as f64);
+        metrics.gauge_set("autotune", Some(level), "plan_threads", plan.threads as f64);
+        // TLP of the chosen plan (Eq. 8): recomputed only when metered, so
+        // unmetered runs do no extra host work.
+        metrics.gauge_set("autotune", Some(level), "plan_tlp", tlp(&plan, sizes));
+    }
     if trace.is_enabled() {
         let (fresh, chosen, scored) = select_plan(sizes, threshold, w_cap);
         debug_assert_eq!(fresh, plan, "cache must agree with a fresh walk");
@@ -411,9 +468,30 @@ mod tests {
         let sizes = vec![(256usize, 256usize); 100];
         let sink = wsvd_trace::TraceSink::enabled();
         let pid = sink.register_process("test");
-        let traced =
-            auto_tune_with_w_cap_traced(&sizes, V100_TLP_THRESHOLD, 48, &sink, pid, 1, 0.25);
+        let metrics = MetricsSink::enabled();
+        metrics.set_experiment("unit");
+        let telemetry = TuneTelemetry {
+            trace: sink.clone(),
+            metrics: metrics.clone(),
+            pid,
+            level: 1,
+            now: 0.25,
+        };
+        let traced = auto_tune_with_w_cap_traced(&sizes, V100_TLP_THRESHOLD, 48, &telemetry);
         assert_eq!(traced, auto_tune_with_w_cap(&sizes, V100_TLP_THRESHOLD, 48));
+
+        // The metrics registry saw exactly one lookup (hit or miss depending
+        // on what other tests already warmed into the global cache) and the
+        // chosen plan's gauges at this level.
+        let snap = metrics.snapshot();
+        let lookups = snap.counter("unit", "plan-cache", None, "hits")
+            + snap.counter("unit", "plan-cache", None, "misses");
+        assert_eq!(lookups, 1.0);
+        assert_eq!(
+            snap.gauge("unit", "autotune", Some(1), "plan_w"),
+            Some(traced.w as f64)
+        );
+        assert!(snap.gauge("unit", "autotune", Some(1), "plan_tlp").unwrap() > 0.0);
 
         let evs = sink.events();
         let plans: Vec<_> = evs.iter().filter(|e| e.track == "autotune").collect();
@@ -451,9 +529,11 @@ mod tests {
     fn plan_cache_hits_after_first_lookup() {
         let cache = PlanCache::new();
         let sizes = vec![(96, 96); 20];
-        let a = cache.lookup_or_tune(&sizes, V100_TLP_THRESHOLD, 48);
-        let b = cache.lookup_or_tune(&sizes, V100_TLP_THRESHOLD, 48);
+        let (a, a_hit) = cache.lookup_or_tune_counted(&sizes, V100_TLP_THRESHOLD, 48);
+        let (b, b_hit) = cache.lookup_or_tune_counted(&sizes, V100_TLP_THRESHOLD, 48);
         assert_eq!(a, b);
+        assert!(!a_hit, "first lookup must miss");
+        assert!(b_hit, "second lookup must hit");
         assert_eq!(a, auto_tune_with_w_cap(&sizes, V100_TLP_THRESHOLD, 48));
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.len(), 1);

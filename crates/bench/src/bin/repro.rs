@@ -8,6 +8,9 @@
 //!   repro --check DIR [<id> ...]     # regression-compare against stored JSON
 //!   repro --sanitize [<id> ...]      # run under the wsvd-sanitizer (default: fig7)
 //!   repro --fused [<id> ...]         # run with the fused launch pipeline on
+//!   repro --report [<id> ...]        # per-kernel profiler report (wsvd-metrics)
+//!   repro --bench-out FILE [...]     # write a perf snapshot for wsvd-bench-diff
+//!   repro --prom FILE [...]          # export the registry as Prometheus text
 //! ```
 //!
 //! `--trace FILE` records every simulated kernel launch, W-cycle sweep and
@@ -19,6 +22,18 @@
 //! memory races, barrier divergence, leaked buffers) and static schedule /
 //! shared-memory verification for every simulated launch, then exits
 //! non-zero if any violation was reported. Equivalent to `WSVD_SANITIZE=1`.
+//!
+//! `--report` turns on the wsvd-metrics registry (a strict no-op otherwise:
+//! simulated time and numerics are bit-identical with metrics off) and, after
+//! the experiments run, prints a per-kernel profiler table per experiment —
+//! time share, achieved occupancy, arithmetic intensity and the roofline
+//! ceiling each kernel is pinned to (Eqs. 8–10), GM-transaction efficiency
+//! and launch-overhead share.
+//!
+//! `--bench-out FILE` (implies the registry on) writes a stable
+//! [`wsvd_bench::BenchSnapshot`] JSON of the whole invocation; commit one as
+//! `BENCH_<n>.json` and gate CI with `wsvd-bench-diff --gate`. `--prom FILE`
+//! exports the same registry in Prometheus text exposition format.
 //!
 //! `--fused` makes every W-cycle run record its per-level launches into a
 //! [`wsvd_gpu_sim::LaunchGraph`], paying the driver's launch overhead once
@@ -40,6 +55,9 @@ fn main() {
     let mut run_all = false;
     let mut sanitize = false;
     let mut fused = false;
+    let mut report = false;
+    let mut bench_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -62,6 +80,9 @@ fn main() {
             "--trace" => trace_path = Some(it.next().expect("--trace needs a file")),
             "--sanitize" => sanitize = true,
             "--fused" => fused = true,
+            "--report" => report = true,
+            "--bench-out" => bench_out = Some(it.next().expect("--bench-out needs a file")),
+            "--prom" => prom_out = Some(it.next().expect("--prom needs a file")),
             other => ids.push(other.to_string()),
         }
     }
@@ -84,6 +105,37 @@ fn main() {
         wsvd_trace::install_global(sink.clone());
         sink
     });
+    // Same construction-time rule for the metrics registry: `--report`,
+    // `--bench-out` and `--prom` all need the global sink live before the
+    // first `Gpu` exists. Off by default — the disabled sink is a strict
+    // no-op and experiments stay bit-identical.
+    let metrics_sink = (report || bench_out.is_some() || prom_out.is_some()).then(|| {
+        let sink = wsvd_metrics::MetricsSink::enabled();
+        wsvd_metrics::install_global(sink.clone());
+        sink
+    });
+    let dump_metrics =
+        |sink: &Option<wsvd_metrics::MetricsSink>, scale: wsvd_bench::Scale, ids: &[String]| {
+            let Some(sink) = sink else { return };
+            let snap = sink.snapshot();
+            if report {
+                print!("{}", wsvd_bench::metrics_report::render_report(&snap));
+            }
+            if let Some(path) = &bench_out {
+                let bench = wsvd_bench::BenchSnapshot {
+                    version: wsvd_bench::BENCH_SNAPSHOT_VERSION as f64,
+                    scale: format!("{scale:?}").to_lowercase(),
+                    experiments: ids.to_vec(),
+                    metrics: snap.clone(),
+                };
+                std::fs::write(path, bench.to_json()).expect("write bench snapshot");
+                eprintln!("wrote perf snapshot to {path} (compare with wsvd-bench-diff)");
+            }
+            if let Some(path) = &prom_out {
+                std::fs::write(path, snap.to_prometheus()).expect("write prometheus file");
+                eprintln!("wrote Prometheus exposition to {path}");
+            }
+        };
     let dump_trace = |sink: &Option<wsvd_trace::TraceSink>| {
         let (Some(sink), Some(path)) = (sink, &trace_path) else {
             return;
@@ -123,6 +175,9 @@ fn main() {
                 continue;
             };
             let baseline: Report = serde_json::from_str(&stored).expect("baseline parse");
+            if let Some(sink) = &metrics_sink {
+                sink.set_experiment(id);
+            }
             let fresh = f(scale);
             match fresh.diff(&baseline) {
                 None => println!("{id:>12}  PASS"),
@@ -133,10 +188,14 @@ fn main() {
             }
         }
         dump_trace(&trace_sink);
+        dump_metrics(&metrics_sink, scale, &ids);
         std::process::exit(if failed > 0 { 1 } else { 0 });
     }
     if ids.is_empty() {
-        eprintln!("usage: repro --all | <id>... [--scale reduced|full] [--json DIR] [--fused]");
+        eprintln!(
+            "usage: repro --all | <id>... [--scale reduced|full] [--json DIR] [--fused] \
+             [--report] [--bench-out FILE] [--prom FILE]"
+        );
         eprintln!("known ids:");
         for (id, _) in &experiments {
             eprintln!("  {id}");
@@ -149,6 +208,9 @@ fn main() {
             eprintln!("unknown experiment '{id}' (try --list)");
             std::process::exit(2);
         };
+        if let Some(sink) = &metrics_sink {
+            sink.set_experiment(id);
+        }
         let start = std::time::Instant::now();
         let rep = f(scale);
         println!("{}", rep.render());
@@ -169,6 +231,7 @@ fn main() {
         }
     }
     dump_trace(&trace_sink);
+    dump_metrics(&metrics_sink, scale, &ids);
     if sanitize {
         let v = wsvd_gpu_sim::sanitize::global_violation_count();
         if v > 0 {

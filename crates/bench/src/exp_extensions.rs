@@ -11,6 +11,10 @@
 //! * `ext-fused` — the fused launch pipeline on the launch-bound rows the
 //!   repro tables expose: fig9's batch-1 columns and fig14b's sharded
 //!   cluster, serial vs fused, with the overhead share each pays.
+//! * `ext-metrics` — the wsvd-metrics registry in action: the fig9 batch-1
+//!   case runs with a metered GPU and the report is the per-kernel
+//!   profiler view (time share, occupancy, AI, roofline ceiling
+//!   attribution per Eqs. 8–10, GM-transaction efficiency).
 
 use wsvd_core::{wcycle_svd, AlphaSelect, Tuning, WCycleConfig};
 use wsvd_gpu_sim::{Gpu, V100};
@@ -161,7 +165,7 @@ pub fn ext_profile(scale: Scale) -> Report {
     let mats = random_batch(batch, n, n, 2718);
     wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
     let profile = gpu.profile();
-    let total = profile.total_seconds().max(f64::MIN_POSITIVE);
+    let total = profile.total_seconds();
 
     let mut rep = Report::new(
         "ext-profile",
@@ -175,12 +179,47 @@ pub fn ext_profile(scale: Scale) -> Report {
     for (label, k) in rows {
         rep.push_row(vec![
             label.to_string(),
-            format!("{:.1}%", 100.0 * k.seconds / total),
+            format!("{:.1}%", wsvd_gpu_sim::time_share_percent(k.seconds, total)),
             k.launches.to_string(),
             format!("{:.2e}", k.totals.gm_bytes() as f64),
             format!("{:.3}", k.mean_occupancy()),
         ]);
     }
+    rep
+}
+
+/// The wsvd-metrics registry on the fig9 n=128 batch-1 case (tentpole
+/// extension): one matrix runs the full W-cycle on a metered [`Gpu`] and the
+/// report renders what the registry accumulated — per-kernel time share,
+/// achieved occupancy, arithmetic intensity, roofline ceiling attribution
+/// (Eqs. 8–10, the same [`wsvd_gpu_sim::KernelObservation::derive`] path the
+/// profiler uses), GM-transaction efficiency and launch-overhead share.
+/// Under `repro --report` the experiment reuses the global sink, so its
+/// series also land in `--bench-out` snapshots and `--prom` exports.
+pub fn ext_metrics(scale: Scale) -> Report {
+    let n = scale.pick(128, 256);
+    let global = wsvd_metrics::global();
+    let sink = if global.is_enabled() {
+        global
+    } else {
+        wsvd_metrics::MetricsSink::enabled()
+    };
+    sink.set_experiment("ext-metrics");
+    let before = sink.snapshot();
+    let mut gpu = Gpu::new(V100);
+    gpu.set_metrics(sink.clone());
+    // The fig9 batch-1 column: a single n x n matrix, where per-launch
+    // overhead and per-level plan choices are most visible.
+    let mats = random_batch(1, n, n, (3 * n + 1) as u64);
+    wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+    // Per-run delta: only what *this* experiment recorded, even when the
+    // process-global sink already carries earlier experiments' series.
+    let snap = sink.snapshot().since(&before);
+
+    let mut rep = crate::metrics_report::kernel_report(&snap, "ext-metrics");
+    rep.id = "ext-metrics".to_string();
+    rep.title = "Per-kernel metrics registry report (extension; fig9 batch-1 case)".to_string();
+    rep.scale_note = scale.note(&format!("one {n}x{n} matrix"));
     rep
 }
 

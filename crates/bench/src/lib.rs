@@ -14,9 +14,11 @@ pub mod exp_baselines;
 pub mod exp_extensions;
 pub mod exp_kernels;
 pub mod exp_tailoring;
+pub mod metrics_report;
 pub mod report;
 pub mod scale;
 
+pub use metrics_report::{BenchSnapshot, Tolerances, BENCH_SNAPSHOT_VERSION};
 pub use report::Report;
 pub use scale::Scale;
 
@@ -53,5 +55,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-trace", exp_extensions::ext_trace),
         ("ext-sanitize", exp_extensions::ext_sanitize),
         ("ext-fused", exp_extensions::ext_fused),
+        ("ext-metrics", exp_extensions::ext_metrics),
     ]
 }

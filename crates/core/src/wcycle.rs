@@ -16,7 +16,7 @@
 //! * Sweeps repeat until all column blocks are mutually orthogonal; each
 //!   converged matrix exits the workflow.
 
-use wsvd_batched::autotune::auto_tune_with_w_cap_traced;
+use wsvd_batched::autotune::{auto_tune_with_w_cap_traced, TuneTelemetry};
 use wsvd_batched::gemm::{batched_gram, batched_update, GemmStrategy};
 use wsvd_batched::models::TailorPlan;
 use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError};
@@ -32,6 +32,11 @@ use crate::config::{AlphaSelect, Tuning, WCycleConfig};
 use crate::stats::WCycleStats;
 use crate::verify::{effective_width, verify_level};
 use wsvd_jacobi::verify::{verify_schedule, Coverage};
+
+/// Fixed bounds for the per-matrix `sweeps_to_converge` metrics histogram.
+/// Powers of two up to the practical sweep ceiling keep snapshots comparable
+/// across experiments.
+const SWEEP_BUCKETS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 
 /// The SVD of one input matrix as produced by the W-cycle.
 #[derive(Debug)]
@@ -152,6 +157,33 @@ pub fn wcycle_svd(
             trace_level0_sweeps(gpu, &trace, &svds, t_pre, gpu.elapsed_seconds());
         }
         stats.level0_sm_svds = svds.len();
+        // Level-0 registry metrics mirror the per-level hook in
+        // `decompose_level`: whole-in-SM decompositions are "level 0".
+        let metrics = gpu.metrics();
+        if metrics.is_enabled() {
+            metrics.counter_add(
+                "wcycle",
+                Some(0),
+                "level_seconds",
+                gpu.elapsed_seconds() - t_pre,
+            );
+            metrics.counter_add("wcycle", Some(0), "tasks", svds.len() as f64);
+            metrics.counter_add(
+                "wcycle",
+                Some(0),
+                "sweeps",
+                svds.iter().map(|o| o.stats.sweeps).max().unwrap_or(0) as f64,
+            );
+            for o in &svds {
+                metrics.observe(
+                    "wcycle",
+                    Some(0),
+                    "sweeps_to_converge",
+                    &SWEEP_BUCKETS,
+                    o.stats.sweeps as f64,
+                );
+            }
+        }
         let recover: Vec<(usize, Matrix, Matrix)> = fit_idx
             .iter()
             .enumerate()
@@ -657,6 +689,35 @@ fn decompose_level(
         );
     }
 
+    // Per-level registry metrics: time share, convergence behaviour and the
+    // chosen plan, keyed by W-cycle level. All values are already computed
+    // by the algorithm (or are host-side reads of simulated time), so with
+    // the sink disabled nothing here runs and the run stays bit-identical.
+    let metrics = gpu.metrics();
+    if metrics.is_enabled() {
+        let now = gpu.elapsed_seconds();
+        metrics.counter_add("wcycle", Some(level), "level_seconds", now - level_t0);
+        metrics.counter_add("wcycle", Some(level), "tasks", tasks.len() as f64);
+        metrics.counter_add(
+            "wcycle",
+            Some(level),
+            "sweeps",
+            sweeps.iter().copied().max().unwrap_or(0) as f64,
+        );
+        for &s in &sweeps {
+            metrics.observe(
+                "wcycle",
+                Some(level),
+                "sweeps_to_converge",
+                &SWEEP_BUCKETS,
+                s as f64,
+            );
+        }
+        metrics.gauge_set("wcycle", Some(level), "plan_w", plan.w as f64);
+        metrics.gauge_set("wcycle", Some(level), "plan_delta", plan.delta as f64);
+        metrics.gauge_set("wcycle", Some(level), "plan_threads", plan.threads as f64);
+    }
+
     Ok(vs
         .into_iter()
         .zip(sweeps)
@@ -838,10 +899,13 @@ fn resolve_plan(
             sizes,
             *threshold,
             w_cap,
-            gpu.trace(),
-            gpu.trace_pid(),
-            level,
-            gpu.elapsed_seconds(),
+            &TuneTelemetry {
+                trace: gpu.trace().clone(),
+                metrics: gpu.metrics().clone(),
+                pid: gpu.trace_pid(),
+                level,
+                now: gpu.elapsed_seconds(),
+            },
         ),
         Tuning::Fixed(p) => TailorPlan::new(p.w.min(w_cap), p.delta, p.threads),
         Tuning::Widths(ws) => {

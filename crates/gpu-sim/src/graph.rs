@@ -31,8 +31,10 @@
 //! joins the enclosing graph (a child graph), so the outer graph's single
 //! launch cost covers the whole recursion tree.
 
+use serde::{Deserialize, Serialize};
+
 /// Cumulative statistics over all launch graphs replayed on one [`crate::Gpu`].
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct GraphStats {
     /// Completed outermost graphs that recorded at least one node.
     pub graphs: u64,
@@ -66,6 +68,10 @@ pub(crate) struct GraphState {
     resident: usize,
     /// Finished-graph totals.
     stats: GraphStats,
+    /// Totals already handed out by [`GraphState::take_unreported`]; the
+    /// difference against `stats` is the per-graph delta the metrics
+    /// registry records (stats themselves stay Gpu-cumulative).
+    reported: GraphStats,
 }
 
 impl GraphState {
@@ -149,6 +155,26 @@ impl GraphState {
     pub(crate) fn stats(&self) -> GraphStats {
         self.stats
     }
+
+    /// The statistics accumulated since the previous call (or since the
+    /// beginning): the field-wise difference between the cumulative totals
+    /// and what was already reported. Lets the launch path record per-graph
+    /// deltas into the metrics registry without changing the cumulative
+    /// semantics of [`GraphState::stats`].
+    pub(crate) fn take_unreported(&mut self) -> GraphStats {
+        let d = GraphStats {
+            graphs: self.stats.graphs - self.reported.graphs,
+            nodes: self.stats.nodes - self.reported.nodes,
+            coalesced: self.stats.coalesced - self.reported.coalesced,
+            ride_blocks: self.stats.ride_blocks - self.reported.ride_blocks,
+            overhead_saved_seconds: self.stats.overhead_saved_seconds
+                - self.reported.overhead_saved_seconds,
+            overlap_saved_seconds: self.stats.overlap_saved_seconds
+                - self.reported.overlap_saved_seconds,
+        };
+        self.reported = self.stats;
+        d
+    }
 }
 
 /// RAII scope for fused launch capture, returned by
@@ -227,6 +253,30 @@ mod tests {
         assert!(g.capturing());
         assert_eq!(g.end(), Some((2, 1)));
         assert_eq!(g.stats().graphs, 1);
+    }
+
+    #[test]
+    fn take_unreported_returns_per_graph_deltas() {
+        let mut g = GraphState::default();
+        g.begin();
+        g.charge_node((64, 0), 1, 16, FULL, NODE);
+        g.charge_node((64, 0), 1, 16, FULL, NODE);
+        g.end();
+        let first = g.take_unreported();
+        assert_eq!(first.graphs, 1);
+        assert_eq!(first.nodes, 2);
+        assert_eq!(first.coalesced, 1);
+        g.begin();
+        g.charge_node((128, 0), 1, 16, FULL, NODE);
+        g.end();
+        let second = g.take_unreported();
+        assert_eq!(second.graphs, 1);
+        assert_eq!(second.nodes, 1);
+        assert_eq!(second.coalesced, 0);
+        // Cumulative totals are untouched by reporting.
+        assert_eq!(g.stats().graphs, 2);
+        assert_eq!(g.stats().nodes, 3);
+        assert_eq!(g.take_unreported(), GraphStats::default());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::BinaryHeap;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use wsvd_metrics::MetricsSink;
 use wsvd_trace::TraceSink;
 
 use crate::counters::{BlockCounters, LaunchStats, Timeline};
@@ -31,6 +32,11 @@ const BLOCK_OVERHEAD_CYCLES: f64 = 200.0;
 /// occupy thousands of slots; tracing every one would swamp the viewer, so
 /// placements beyond this many slots are aggregated into the kernel span.
 const MAX_TRACED_SLOTS: usize = 32;
+
+/// Fixed occupancy histogram buckets (fractions of peak resident threads)
+/// used by the per-launch `occupancy` histogram in the metrics registry.
+/// Fixed bounds keep snapshots comparable across runs and devices.
+pub const OCCUPANCY_BUCKETS: [f64; 8] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
 
 /// Error raised by a simulated kernel block.
 #[derive(Clone, Debug, PartialEq)]
@@ -294,6 +300,7 @@ pub struct Gpu {
     profiler: Mutex<Profiler>,
     trace: TraceSink,
     trace_pid: u32,
+    metrics: MetricsSink,
     sanitize: SanitizeMode,
     sanitizer: Mutex<SanitizerReport>,
     graph: Mutex<GraphState>,
@@ -317,7 +324,9 @@ impl Gpu {
     /// Like [`Gpu::with_trace`], with an explicit trace process name (used
     /// by [`crate::GpuCluster`] to label ranks). Picks up the process-wide
     /// sanitize default ([`SanitizeMode::resolved`]: `WSVD_SANITIZE` or
-    /// [`crate::sanitize::set_global`]), which is off unless requested.
+    /// [`crate::sanitize::set_global`]), which is off unless requested, and
+    /// the process-wide metrics sink (`wsvd_metrics::global()`), disabled by
+    /// default — so unmetered launches pay only an `Option` check.
     pub fn with_trace_named(device: DeviceSpec, trace: TraceSink, name: &str) -> Self {
         let trace_pid = trace.register_process(name);
         Self {
@@ -326,6 +335,7 @@ impl Gpu {
             profiler: Mutex::new(Profiler::new()),
             trace,
             trace_pid,
+            metrics: wsvd_metrics::global(),
             sanitize: SanitizeMode::resolved(),
             sanitizer: Mutex::new(SanitizerReport::default()),
             graph: Mutex::new(GraphState::default()),
@@ -361,6 +371,19 @@ impl Gpu {
     /// The trace sink this GPU records into (disabled by default).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// The metrics sink this GPU records into (disabled by default). Layers
+    /// above (the W-cycle, experiments) key their own metrics-only work off
+    /// `gpu.metrics().is_enabled()`.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// Replaces the metrics sink, ignoring the process-wide default (tests
+    /// and experiments that must not pollute the global registry).
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = sink;
     }
 
     /// The trace process id for this GPU's tracks (0 when tracing is off).
@@ -569,7 +592,73 @@ impl Gpu {
         }
         self.timeline.lock().record(&stats);
         self.profiler.lock().record(cfg.label, &stats);
+        if self.metrics.is_enabled() {
+            self.record_metrics(cfg.label, &stats);
+        }
         Ok(stats)
+    }
+
+    /// Mirrors one launch's [`LaunchStats`] — the *same* object the timeline
+    /// and profiler record — into the metrics registry, keyed by kernel
+    /// label. Only called when the sink is enabled; recording never touches
+    /// the timing model, so metrics-off runs stay bit-identical.
+    fn record_metrics(&self, label: &str, stats: &LaunchStats) {
+        let m = &self.metrics;
+        m.counter_add(label, None, "launches", 1.0);
+        m.counter_add(label, None, "blocks", stats.grid as f64);
+        m.counter_add(label, None, "flops", stats.totals.flops as f64);
+        m.counter_add(
+            label,
+            None,
+            "gm_load_bytes",
+            stats.totals.gm_load_bytes as f64,
+        );
+        m.counter_add(
+            label,
+            None,
+            "gm_store_bytes",
+            stats.totals.gm_store_bytes as f64,
+        );
+        m.counter_add(
+            label,
+            None,
+            "gm_transactions",
+            stats.totals.gm_transactions as f64,
+        );
+        m.counter_add(
+            label,
+            None,
+            "smem_traffic_bytes",
+            stats.totals.smem_traffic_bytes as f64,
+        );
+        m.counter_add(label, None, "kernel_seconds", stats.kernel_seconds);
+        m.counter_add(label, None, "overhead_seconds", stats.overhead_seconds);
+        // Time-weighted occupancy accumulator: reports divide by the kernel's
+        // total seconds to recover the profiler's mean occupancy.
+        m.counter_add(
+            label,
+            None,
+            "occ_seconds",
+            stats.occupancy * stats.seconds(),
+        );
+        m.observe(
+            label,
+            None,
+            "occupancy",
+            &OCCUPANCY_BUCKETS,
+            stats.occupancy,
+        );
+        // Device roofline constants as gauges, so a snapshot alone suffices
+        // to derive AI / ceiling attribution (Eqs. 8–10) offline.
+        let d = &self.device;
+        m.gauge_set("device", None, "peak_fp64_flops", d.peak_fp64_flops());
+        m.gauge_set("device", None, "gm_bandwidth_bytes_per_s", d.gm_bandwidth());
+        m.gauge_set(
+            "device",
+            None,
+            "gm_transaction_bytes",
+            d.gm_transaction_bytes as f64,
+        );
     }
 
     /// Launch accounting for one kernel: the full per-call driver cost (and
@@ -614,6 +703,29 @@ impl Gpu {
     pub(crate) fn end_launch_graph(&self, label: &'static str) {
         let finished = self.graph.lock().end();
         if let Some((nodes, coalesced)) = finished {
+            if self.metrics.is_enabled() {
+                // Per-graph deltas (cumulative stats minus what was already
+                // reported), so registry counters sum correctly per run even
+                // though `GraphStats` itself stays Gpu-cumulative.
+                let d = self.graph.lock().take_unreported();
+                let m = &self.metrics;
+                m.counter_add("launch-graph", None, "graphs", d.graphs as f64);
+                m.counter_add("launch-graph", None, "nodes", d.nodes as f64);
+                m.counter_add("launch-graph", None, "coalesced", d.coalesced as f64);
+                m.counter_add("launch-graph", None, "ride_blocks", d.ride_blocks as f64);
+                m.counter_add(
+                    "launch-graph",
+                    None,
+                    "overhead_saved_seconds",
+                    d.overhead_saved_seconds,
+                );
+                m.counter_add(
+                    "launch-graph",
+                    None,
+                    "overlap_saved_seconds",
+                    d.overlap_saved_seconds,
+                );
+            }
             if self.trace.is_enabled() {
                 let now = self.timeline.lock().seconds;
                 let stats = self.graph.lock().stats();
@@ -1309,6 +1421,98 @@ mod tests {
         let serial = run("d");
         assert!((serial.overhead_seconds - V100.launch_overhead_us * 1e-6).abs() < 1e-18);
         assert_eq!(gpu.graph_stats().nodes, 3);
+    }
+
+    #[test]
+    fn metered_launch_mirrors_stats_into_registry() {
+        let sink = wsvd_metrics::MetricsSink::enabled();
+        sink.set_experiment("unit");
+        let mut gpu = Gpu::new(V100);
+        gpu.set_metrics(sink.clone());
+        let cfg = KernelConfig::new(4, 64, 1024, "metered");
+        let (_, stats) = gpu
+            .launch_collect(cfg, |_, ctx| {
+                ctx.par_step(64, 2);
+                ctx.count_gm_load(128);
+                Ok(())
+            })
+            .unwrap();
+        let snap = sink.snapshot();
+        let c = |name: &str| snap.counter("unit", "metered", None, name);
+        assert_eq!(c("launches"), 1.0);
+        assert_eq!(c("blocks"), 4.0);
+        assert_eq!(c("flops"), stats.totals.flops as f64);
+        assert_eq!(c("gm_load_bytes"), stats.totals.gm_load_bytes as f64);
+        assert_eq!(c("gm_transactions"), stats.totals.gm_transactions as f64);
+        assert_eq!(
+            c("kernel_seconds").to_bits(),
+            stats.kernel_seconds.to_bits()
+        );
+        assert_eq!(
+            c("overhead_seconds").to_bits(),
+            stats.overhead_seconds.to_bits()
+        );
+        let h = snap
+            .histogram("unit", "metered", None, "occupancy")
+            .expect("occupancy histogram");
+        assert_eq!(h.total, 1);
+        assert_eq!(
+            snap.gauge("unit", "device", None, "peak_fp64_flops"),
+            Some(V100.peak_fp64_flops())
+        );
+    }
+
+    #[test]
+    fn metrics_off_keeps_launches_bit_identical() {
+        let run = |metered: bool| {
+            let mut gpu = Gpu::new(V100);
+            if metered {
+                gpu.set_metrics(wsvd_metrics::MetricsSink::enabled());
+            } else {
+                gpu.set_metrics(wsvd_metrics::MetricsSink::disabled());
+            }
+            ten_launches(&gpu, true);
+            (gpu.elapsed_seconds(), gpu.timeline().totals)
+        };
+        let (t_off, c_off) = run(false);
+        let (t_on, c_on) = run(true);
+        assert_eq!(
+            t_off.to_bits(),
+            t_on.to_bits(),
+            "metrics must not perturb time"
+        );
+        assert_eq!(c_off, c_on);
+    }
+
+    #[test]
+    fn metered_fused_scope_records_graph_deltas() {
+        let sink = wsvd_metrics::MetricsSink::enabled();
+        sink.set_experiment("unit");
+        let mut gpu = Gpu::new(V100);
+        gpu.set_metrics(sink.clone());
+        ten_launches(&gpu, true);
+        let g = gpu.graph_stats();
+        let snap = sink.snapshot();
+        let c = |name: &str| snap.counter("unit", "launch-graph", None, name);
+        assert_eq!(c("graphs"), g.graphs as f64);
+        assert_eq!(c("nodes"), g.nodes as f64);
+        assert_eq!(c("coalesced"), g.coalesced as f64);
+        assert_eq!(c("ride_blocks"), g.ride_blocks as f64);
+        assert_eq!(
+            c("overhead_saved_seconds").to_bits(),
+            g.overhead_saved_seconds.to_bits()
+        );
+        // A second fused scope on the same GPU adds only its own delta.
+        ten_launches(&gpu, true);
+        let snap2 = sink.snapshot();
+        assert_eq!(
+            snap2.counter("unit", "launch-graph", None, "graphs"),
+            gpu.graph_stats().graphs as f64
+        );
+        assert_eq!(
+            snap2.counter("unit", "launch-graph", None, "nodes"),
+            gpu.graph_stats().nodes as f64
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::counters::{BlockCounters, LaunchStats};
+use crate::device::DeviceSpec;
 
 /// Aggregated statistics for one kernel label.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -22,6 +23,8 @@ pub struct KernelProfile {
     pub totals: BlockCounters,
     /// Total simulated seconds (kernel + overhead).
     pub seconds: f64,
+    /// Launch-overhead seconds included in `seconds`.
+    pub overhead_seconds: f64,
     /// Time-weighted occupancy accumulator.
     occ_weighted: f64,
 }
@@ -33,6 +36,135 @@ impl KernelProfile {
             self.occ_weighted / self.seconds
         } else {
             0.0
+        }
+    }
+
+    /// The raw quantities the roofline report needs, paired with `device`'s
+    /// ceilings — the bridge into [`KernelObservation::derive`].
+    pub fn observation(&self, device: &DeviceSpec) -> KernelObservation {
+        KernelObservation {
+            flops: self.totals.flops as f64,
+            gm_bytes: self.totals.gm_bytes() as f64,
+            gm_transactions: self.totals.gm_transactions as f64,
+            kernel_seconds: self.seconds - self.overhead_seconds,
+            overhead_seconds: self.overhead_seconds,
+            peak_flops: device.peak_fp64_flops(),
+            gm_bandwidth: device.gm_bandwidth(),
+            gm_transaction_bytes: device.gm_transaction_bytes as f64,
+        }
+    }
+
+    /// Derived roofline metrics for this kernel on `device`.
+    pub fn derived(&self, device: &DeviceSpec) -> KernelDerived {
+        self.observation(device).derive()
+    }
+}
+
+/// Percentage of `total_seconds` spent in a kernel — the one home for the
+/// time-share arithmetic shared by [`Profiler::render`], the bench
+/// experiments and the metrics report (an empty profile yields 0%).
+pub fn time_share_percent(seconds: f64, total_seconds: f64) -> f64 {
+    100.0 * seconds / total_seconds.max(f64::MIN_POSITIVE)
+}
+
+/// Raw inputs to the roofline/AI derivation (Eqs. 8–10): one kernel's summed
+/// counters and simulated times plus the device ceilings. Built either from
+/// a [`KernelProfile`] ([`KernelProfile::observation`]) or from metrics
+/// registry counters — both paths share [`KernelObservation::derive`], so
+/// the arithmetic cannot diverge between the profiler and the reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelObservation {
+    /// Total floating-point operations.
+    pub flops: f64,
+    /// Total global-memory bytes moved (loads + stores).
+    pub gm_bytes: f64,
+    /// Total coalesced global-memory transactions.
+    pub gm_transactions: f64,
+    /// Simulated kernel-execution seconds (excluding launch overhead).
+    pub kernel_seconds: f64,
+    /// Simulated launch-overhead seconds.
+    pub overhead_seconds: f64,
+    /// Device peak FP64 throughput in FLOP/s (compute ceiling).
+    pub peak_flops: f64,
+    /// Device global-memory bandwidth in bytes/s (memory ceiling slope).
+    pub gm_bandwidth: f64,
+    /// Bytes per coalesced global-memory transaction.
+    pub gm_transaction_bytes: f64,
+}
+
+/// Roofline metrics derived from one [`KernelObservation`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelDerived {
+    /// Arithmetic intensity in FLOP/byte of GM traffic (Eq. 9's numerator
+    /// view; infinite for kernels that touch no global memory).
+    pub ai: f64,
+    /// Achieved FLOP/s over the kernel-execution time.
+    pub achieved_flops: f64,
+    /// The roofline ceiling at this AI: `min(peak, ai * bandwidth)`.
+    pub roof_flops: f64,
+    /// Achieved throughput as a fraction of the ceiling.
+    pub roof_fraction: f64,
+    /// True when AI is at or beyond the ridge point (compute ceiling
+    /// applies); false for memory-bound kernels.
+    pub compute_bound: bool,
+    /// Useful GM bytes per transaction byte: 1.0 means perfectly coalesced
+    /// traffic, lower means partially-filled transactions.
+    pub gm_transaction_efficiency: f64,
+    /// Launch overhead as a fraction of the kernel's total simulated time.
+    pub overhead_share: f64,
+}
+
+impl KernelObservation {
+    /// The single implementation of the roofline/AI arithmetic (Eqs. 8–10).
+    pub fn derive(&self) -> KernelDerived {
+        let ai = if self.gm_bytes > 0.0 {
+            self.flops / self.gm_bytes
+        } else if self.flops > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let ridge = if self.gm_bandwidth > 0.0 {
+            self.peak_flops / self.gm_bandwidth
+        } else {
+            0.0
+        };
+        let compute_bound = ai >= ridge;
+        let roof_flops = if compute_bound {
+            self.peak_flops
+        } else {
+            ai * self.gm_bandwidth
+        };
+        let achieved_flops = if self.kernel_seconds > 0.0 {
+            self.flops / self.kernel_seconds
+        } else {
+            0.0
+        };
+        let roof_fraction = if roof_flops > 0.0 {
+            achieved_flops / roof_flops
+        } else {
+            0.0
+        };
+        let tx_bytes = self.gm_transactions * self.gm_transaction_bytes;
+        let gm_transaction_efficiency = if tx_bytes > 0.0 {
+            self.gm_bytes / tx_bytes
+        } else {
+            0.0
+        };
+        let total = self.kernel_seconds + self.overhead_seconds;
+        let overhead_share = if total > 0.0 {
+            self.overhead_seconds / total
+        } else {
+            0.0
+        };
+        KernelDerived {
+            ai,
+            achieved_flops,
+            roof_flops,
+            roof_fraction,
+            compute_bound,
+            gm_transaction_efficiency,
+            overhead_share,
         }
     }
 }
@@ -56,6 +188,7 @@ impl Profiler {
         k.blocks += stats.grid as u64;
         k.totals.merge(&stats.totals);
         k.seconds += stats.seconds();
+        k.overhead_seconds += stats.overhead_seconds;
         k.occ_weighted += stats.occupancy * stats.seconds();
     }
 
@@ -77,7 +210,7 @@ impl Profiler {
     /// Renders an `nvprof`-style summary table, sorted by time share.
     pub fn render(&self) -> String {
         use std::fmt::Write;
-        let total = self.total_seconds().max(f64::MIN_POSITIVE);
+        let total = self.total_seconds();
         let mut rows: Vec<(&str, &KernelProfile)> = self.iter().collect();
         // total_cmp: NaN-safe, so a pathological profile can't panic render.
         rows.sort_by(|a, b| b.1.seconds.total_cmp(&a.1.seconds));
@@ -91,7 +224,7 @@ impl Profiler {
             let _ = writeln!(
                 out,
                 "{:>6.1}%  {:>9.3e}  {:>9}  {:>12.3e}  {:>12.3e}  {:>6.2}  {}",
-                100.0 * k.seconds / total,
+                time_share_percent(k.seconds, total),
                 k.seconds,
                 k.launches,
                 k.totals.flops as f64,
@@ -161,5 +294,78 @@ mod tests {
         let mut p = Profiler::new();
         p.record("k", &stats(1, 1.0, 0));
         assert!((p.get("k").unwrap().mean_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_share_handles_empty_profile() {
+        assert_eq!(time_share_percent(0.0, 0.0), 0.0);
+        assert!((time_share_percent(1.0, 4.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derive_attributes_memory_and_compute_bound() {
+        // V100-like ceilings: peak 7e12 FLOP/s, bw 9e11 B/s, ridge ~7.8.
+        let base = KernelObservation {
+            peak_flops: 7.0e12,
+            gm_bandwidth: 9.0e11,
+            gm_transaction_bytes: 32.0,
+            kernel_seconds: 1.0,
+            ..Default::default()
+        };
+        // AI = 1 flop/byte, well below the ridge: memory bound, roof = ai*bw.
+        let mem = KernelObservation {
+            flops: 1e9,
+            gm_bytes: 1e9,
+            gm_transactions: 1e9 / 32.0,
+            ..base
+        }
+        .derive();
+        assert!(!mem.compute_bound);
+        assert!((mem.ai - 1.0).abs() < 1e-12);
+        assert!((mem.roof_flops - 9.0e11).abs() < 1e-3);
+        assert!((mem.gm_transaction_efficiency - 1.0).abs() < 1e-12);
+        // AI = 100: compute bound, roof = peak.
+        let comp = KernelObservation {
+            flops: 1e11,
+            gm_bytes: 1e9,
+            gm_transactions: 1e9 / 32.0,
+            ..base
+        }
+        .derive();
+        assert!(comp.compute_bound);
+        assert!((comp.roof_flops - 7.0e12).abs() < 1e-3);
+        assert!((comp.roof_fraction - 1e11 / 7.0e12).abs() < 1e-12);
+        // No GM traffic at all: compute bound with infinite AI.
+        let pure = KernelObservation { flops: 1e9, ..base }.derive();
+        assert!(pure.compute_bound);
+        assert!(pure.ai.is_infinite());
+        assert_eq!(pure.gm_transaction_efficiency, 0.0);
+    }
+
+    #[test]
+    fn derive_overhead_share() {
+        let d = KernelObservation {
+            kernel_seconds: 3.0,
+            overhead_seconds: 1.0,
+            peak_flops: 1.0,
+            gm_bandwidth: 1.0,
+            ..Default::default()
+        }
+        .derive();
+        assert!((d.overhead_share - 0.25).abs() < 1e-12);
+        assert_eq!(KernelObservation::default().derive().overhead_share, 0.0);
+    }
+
+    #[test]
+    fn profile_observation_splits_kernel_and_overhead() {
+        let mut p = Profiler::new();
+        let mut s = stats(2, 1.0, 1000);
+        s.overhead_seconds = 0.5;
+        p.record("k", &s);
+        let obs = p.get("k").unwrap().observation(&crate::device::V100);
+        assert!((obs.kernel_seconds - 1.0).abs() < 1e-12);
+        assert!((obs.overhead_seconds - 0.5).abs() < 1e-12);
+        assert_eq!(obs.flops, 1000.0);
+        assert!((obs.peak_flops - crate::device::V100.peak_fp64_flops()).abs() < 1.0);
     }
 }

@@ -1,0 +1,599 @@
+//! `wsvd-metrics` — a deterministic metrics registry for the W-cycle stack.
+//!
+//! The simulator and the algorithm layers above it already compute every
+//! quantity the paper argues performance through (TLP, arithmetic intensity,
+//! occupancy, GM transactions — Eqs. 8–10), but until this crate they were
+//! only reachable as raw per-`Gpu` structs or PR 1's event traces. The
+//! registry aggregates them into **counters**, **gauges** and **fixed-bucket
+//! histograms** keyed by `(experiment, kernel, level)`, so a whole `repro`
+//! invocation becomes one queryable, machine-readable snapshot.
+//!
+//! Design rules, mirroring `wsvd-trace` and the sanitizer:
+//!
+//! * **Zero-cost no-op mode.** [`MetricsSink::default()`] is disabled: every
+//!   recording method returns after one `Option` check. Producers guard any
+//!   metrics-only computation behind [`MetricsSink::is_enabled`], so with the
+//!   sink off, simulated time and numerics are bit-identical to a build
+//!   without the crate.
+//! * **Determinism.** All recording happens in the host-side serial
+//!   orchestration code (kernel *bodies* run under rayon, but launches retire
+//!   serially), and the registry stores everything in `BTreeMap`s — two
+//!   identical runs produce byte-identical [`Snapshot`] JSON.
+//! * **Per-run deltas.** Counters backed by process-cumulative state (the
+//!   autotune plan cache) are recorded as *increments*, and
+//!   [`Snapshot::since`] subtracts an earlier snapshot, so per-experiment and
+//!   per-region queries work even across a warm cache.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// Separator between the `experiment`, `kernel`, `level` and metric-name
+/// components of a flattened registry key. None of the stack's experiment
+/// ids or kernel labels contain it.
+pub const KEY_SEP: char = '/';
+
+/// Flattens `(experiment, kernel, level, name)` into the registry's string
+/// key: `experiment/kernel/L<level>/name` (level `-` when not applicable).
+pub fn metric_key(experiment: &str, kernel: &str, level: Option<usize>, name: &str) -> String {
+    let lvl = match level {
+        Some(l) => format!("L{l}"),
+        None => "-".to_string(),
+    };
+    format!("{experiment}{KEY_SEP}{kernel}{KEY_SEP}{lvl}{KEY_SEP}{name}")
+}
+
+/// Splits a flattened key back into `(experiment, kernel, level, name)`.
+/// Returns `None` for keys that do not have exactly four components.
+pub fn parse_key(key: &str) -> Option<(&str, &str, Option<usize>, &str)> {
+    let mut it = key.splitn(4, KEY_SEP);
+    let experiment = it.next()?;
+    let kernel = it.next()?;
+    let lvl = it.next()?;
+    let name = it.next()?;
+    let level = if lvl == "-" {
+        None
+    } else {
+        Some(lvl.strip_prefix('L')?.parse().ok()?)
+    };
+    Some((experiment, kernel, level, name))
+}
+
+/// One fixed-bucket histogram: `counts[i]` holds observations
+/// `<= bounds[i]`, with one extra overflow bucket at the end.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending. The bucket layout is fixed by the
+    /// first observation of a key and never changes afterwards.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`
+    /// (the last entry counts observations above every bound).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub total: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total > 0 {
+            self.sum / self.total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Experiment scope stamped into every key recorded from now on.
+    experiment: String,
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A cheaply clonable handle producers record into.
+///
+/// `MetricsSink::default()` is **disabled**: every recording method returns
+/// after one `Option` check, and [`MetricsSink::snapshot`] yields an empty
+/// snapshot. An enabled sink shares one registry across clones (the `Gpu`,
+/// the W-cycle, the autotuner and the bench harness all see the same maps).
+#[derive(Clone, Default)]
+pub struct MetricsSink {
+    inner: Option<Arc<Mutex<Registry>>>,
+}
+
+impl MetricsSink {
+    /// A recording sink with an empty registry and no experiment scope.
+    pub fn enabled() -> Self {
+        MetricsSink {
+            inner: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    /// A no-op sink (same as `default()`).
+    pub fn disabled() -> Self {
+        MetricsSink::default()
+    }
+
+    /// Whether metrics are being recorded. Producers must guard any
+    /// computation done *only* for metrics behind this, preserving the
+    /// bit-identity guarantee of the disabled mode.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets the experiment component stamped into subsequently recorded
+    /// keys (e.g. `"fig9"`). Empty until first set.
+    pub fn set_experiment(&self, id: &str) {
+        if let Some(m) = &self.inner {
+            let mut reg = m.lock().unwrap_or_else(|e| e.into_inner());
+            reg.experiment = id.to_string();
+        }
+    }
+
+    /// The current experiment scope (empty when unset or disabled).
+    pub fn experiment(&self) -> String {
+        match &self.inner {
+            None => String::new(),
+            Some(m) => m
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .experiment
+                .clone(),
+        }
+    }
+
+    /// Adds `delta` to the counter `(experiment, kernel, level, name)`.
+    /// Counters are monotone sums over a run; record increments, not
+    /// cumulative process-wide values.
+    pub fn counter_add(&self, kernel: &str, level: Option<usize>, name: &str, delta: f64) {
+        if let Some(m) = &self.inner {
+            let mut reg = m.lock().unwrap_or_else(|e| e.into_inner());
+            let key = metric_key(&reg.experiment, kernel, level, name);
+            *reg.counters.entry(key).or_insert(0.0) += delta;
+        }
+    }
+
+    /// Sets the gauge `(experiment, kernel, level, name)` to `value`
+    /// (last write wins — device constants, chosen plan parameters).
+    pub fn gauge_set(&self, kernel: &str, level: Option<usize>, name: &str, value: f64) {
+        if let Some(m) = &self.inner {
+            let mut reg = m.lock().unwrap_or_else(|e| e.into_inner());
+            let key = metric_key(&reg.experiment, kernel, level, name);
+            reg.gauges.insert(key, value);
+        }
+    }
+
+    /// Observes `value` in the fixed-bucket histogram
+    /// `(experiment, kernel, level, name)`. The bucket layout is taken from
+    /// `bounds` on the key's first observation and kept thereafter.
+    pub fn observe(
+        &self,
+        kernel: &str,
+        level: Option<usize>,
+        name: &str,
+        bounds: &[f64],
+        value: f64,
+    ) {
+        if let Some(m) = &self.inner {
+            let mut reg = m.lock().unwrap_or_else(|e| e.into_inner());
+            let key = metric_key(&reg.experiment, kernel, level, name);
+            reg.histograms
+                .entry(key)
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe(value);
+        }
+    }
+
+    /// Deterministic snapshot of the whole registry (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::default(),
+            Some(m) => {
+                let reg = m.lock().unwrap_or_else(|e| e.into_inner());
+                Snapshot {
+                    counters: reg.counters.clone(),
+                    gauges: reg.gauges.clone(),
+                    histograms: reg.histograms.clone(),
+                }
+            }
+        }
+    }
+}
+
+/// An immutable, serializable copy of the registry at one point in time.
+/// Maps are `BTreeMap`s over the flattened keys of [`metric_key`], so JSON
+/// serialization is deterministic (sorted keys, shortest-round-trip floats).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotone sums keyed by `experiment/kernel/level/name`.
+    pub counters: BTreeMap<String, f64>,
+    /// Last-write-wins values keyed like `counters`.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms keyed like `counters`.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// The delta accumulated between `earlier` and `self`: counters and
+    /// histogram counts subtract (clamped at zero for keys that shrank,
+    /// which a well-behaved producer never does), gauges keep the later
+    /// value. This is what makes process-cumulative producers (the global
+    /// autotune plan cache) queryable per run.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let base = earlier.counters.get(k).copied().unwrap_or(0.0);
+                (k.clone(), (v - base).max(0.0))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) if e.bounds == h.bounds => Histogram {
+                        bounds: h.bounds.clone(),
+                        counts: h
+                            .counts
+                            .iter()
+                            .zip(&e.counts)
+                            .map(|(&a, &b)| a.saturating_sub(b))
+                            .collect(),
+                        total: h.total.saturating_sub(e.total),
+                        sum: h.sum - e.sum,
+                    },
+                    _ => h.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Counter value for the exact key, 0.0 when absent.
+    pub fn counter(&self, experiment: &str, kernel: &str, level: Option<usize>, name: &str) -> f64 {
+        self.counters
+            .get(&metric_key(experiment, kernel, level, name))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Gauge value for the exact key, if set.
+    pub fn gauge(
+        &self,
+        experiment: &str,
+        kernel: &str,
+        level: Option<usize>,
+        name: &str,
+    ) -> Option<f64> {
+        self.gauges
+            .get(&metric_key(experiment, kernel, level, name))
+            .copied()
+    }
+
+    /// Histogram for the exact key, if observed.
+    pub fn histogram(
+        &self,
+        experiment: &str,
+        kernel: &str,
+        level: Option<usize>,
+        name: &str,
+    ) -> Option<&Histogram> {
+        self.histograms
+            .get(&metric_key(experiment, kernel, level, name))
+    }
+
+    /// Distinct experiment ids present in any map, sorted.
+    pub fn experiments(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for key in self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+        {
+            if let Some((exp, _, _, _)) = parse_key(key) {
+                if out.last().map(String::as_str) != Some(exp) && !out.iter().any(|e| e == exp) {
+                    out.push(exp.to_string());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Distinct kernel labels recorded under `experiment` (counters only),
+    /// sorted.
+    pub fn kernels(&self, experiment: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for key in self.counters.keys() {
+            if let Some((exp, kernel, _, _)) = parse_key(key) {
+                if exp == experiment && !out.iter().any(|k| k == kernel) {
+                    out.push(kernel.to_string());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Pretty-printed JSON (deterministic: sorted keys, shortest
+    /// round-trip floats).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot back from [`Snapshot::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Snapshot, String> {
+        serde_json::from_str(s).map_err(|e| format!("snapshot parse error: {e:?}"))
+    }
+
+    /// Prometheus text exposition of the whole snapshot: one metric family
+    /// per metric *name*, with `experiment`, `kernel` and `level` labels.
+    /// Histograms follow the cumulative `_bucket`/`_sum`/`_count`
+    /// convention.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut families: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+        let labels = |key: &str| -> Option<(String, String)> {
+            let (exp, kernel, level, name) = parse_key(key)?;
+            let lvl = level.map(|l| l.to_string()).unwrap_or_default();
+            Some((
+                prom_name(name),
+                format!(
+                    "experiment=\"{}\",kernel=\"{}\",level=\"{}\"",
+                    prom_escape(exp),
+                    prom_escape(kernel),
+                    lvl
+                ),
+            ))
+        };
+        for (kind, map) in [("counter", &self.counters), ("gauge", &self.gauges)] {
+            for (key, &value) in map {
+                let Some((fam, lbl)) = labels(key) else {
+                    continue;
+                };
+                families
+                    .entry(format!("{kind} wsvd_{fam}"))
+                    .or_default()
+                    .push((lbl, fmt_prom(value)));
+            }
+        }
+        for (key, h) in &self.histograms {
+            let Some((fam, lbl)) = labels(key) else {
+                continue;
+            };
+            let rows = families.entry(format!("histogram wsvd_{fam}")).or_default();
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = match h.bounds.get(i) {
+                    Some(b) => fmt_prom(*b),
+                    None => "+Inf".to_string(),
+                };
+                rows.push((format!("{lbl},le=\"{le}\"#bucket"), cumulative.to_string()));
+            }
+            rows.push((format!("{lbl}#sum"), fmt_prom(h.sum)));
+            rows.push((format!("{lbl}#count"), h.total.to_string()));
+        }
+        for (family, rows) in families {
+            let (kind, name) = family.split_once(' ').expect("family has kind prefix");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (lbl, value) in rows {
+                // Histogram rows smuggle their series suffix after a '#'.
+                let (lbl, suffix) = lbl.split_once('#').unwrap_or((lbl.as_str(), ""));
+                let series = if suffix.is_empty() {
+                    name.to_string()
+                } else {
+                    format!("{name}_{suffix}")
+                };
+                let _ = writeln!(out, "{series}{{{lbl}}} {value}");
+            }
+        }
+        out
+    }
+}
+
+/// Sanitizes a metric-name component into a Prometheus metric name.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Escapes a label value (backslash and double quote).
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Deterministic float formatting for Prometheus rows: integers print
+/// without a fraction, everything else with shortest round-trip.
+fn fmt_prom(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+static GLOBAL: OnceLock<MetricsSink> = OnceLock::new();
+
+/// Installs `sink` as the process-wide sink that [`global`] hands out.
+/// Returns `false` if a sink was already installed (the first one wins).
+///
+/// Components that cannot be handed a sink explicitly (a `Gpu` built deep
+/// inside an experiment, the global plan cache) pick this up lazily.
+pub fn install_global(sink: MetricsSink) -> bool {
+    GLOBAL.set(sink).is_ok()
+}
+
+/// The installed global sink, or a disabled one if none was installed.
+pub fn global() -> MetricsSink {
+    GLOBAL.get().cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = MetricsSink::disabled();
+        assert!(!s.is_enabled());
+        s.set_experiment("e");
+        s.counter_add("k", None, "c", 1.0);
+        s.gauge_set("k", None, "g", 2.0);
+        s.observe("k", None, "h", &[1.0], 0.5);
+        assert!(s.snapshot().is_empty());
+        assert_eq!(s.experiment(), "");
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        let k = metric_key("fig9", "gram_gemm", Some(2), "flops");
+        assert_eq!(k, "fig9/gram_gemm/L2/flops");
+        assert_eq!(parse_key(&k), Some(("fig9", "gram_gemm", Some(2), "flops")));
+        let k = metric_key("e", "k", None, "n");
+        assert_eq!(parse_key(&k), Some(("e", "k", None, "n")));
+        assert_eq!(parse_key("only/three/parts"), None);
+    }
+
+    #[test]
+    fn counters_accumulate_and_scope_by_experiment() {
+        let s = MetricsSink::enabled();
+        s.set_experiment("a");
+        s.counter_add("k", None, "c", 1.0);
+        s.counter_add("k", None, "c", 2.0);
+        s.set_experiment("b");
+        s.counter_add("k", None, "c", 5.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("a", "k", None, "c"), 3.0);
+        assert_eq!(snap.counter("b", "k", None, "c"), 5.0);
+        assert_eq!(snap.experiments(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(snap.kernels("a"), vec!["k".to_string()]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let s = MetricsSink::enabled();
+        s.set_experiment("e");
+        let bounds = [0.25, 0.5, 1.0];
+        for v in [0.1, 0.25, 0.6, 2.0] {
+            s.observe("k", None, "occ", &bounds, v);
+        }
+        let snap = s.snapshot();
+        let h = snap.histogram("e", "k", None, "occ").unwrap();
+        assert_eq!(h.counts, vec![2, 0, 1, 1]);
+        assert_eq!(h.total, 4);
+        assert!((h.sum - 2.95).abs() < 1e-12);
+        assert!((h.mean() - 0.7375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_counters_and_histograms_keeps_gauges() {
+        let s = MetricsSink::enabled();
+        s.set_experiment("e");
+        s.counter_add("k", Some(1), "c", 10.0);
+        s.gauge_set("k", Some(1), "g", 1.0);
+        s.observe("k", None, "h", &[1.0], 0.5);
+        let first = s.snapshot();
+        s.counter_add("k", Some(1), "c", 7.0);
+        s.gauge_set("k", Some(1), "g", 9.0);
+        s.observe("k", None, "h", &[1.0], 2.0);
+        let second = s.snapshot();
+        let d = second.since(&first);
+        assert_eq!(d.counter("e", "k", Some(1), "c"), 7.0);
+        assert_eq!(d.gauge("e", "k", Some(1), "g"), Some(9.0));
+        let h = d.histogram("e", "k", None, "h").unwrap();
+        assert_eq!(h.counts, vec![0, 1]);
+        assert_eq!(h.total, 1);
+        // A self-delta is empty-valued but keeps the keys.
+        let zero = second.since(&second);
+        assert_eq!(zero.counter("e", "k", Some(1), "c"), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_and_is_deterministic() {
+        let record = || {
+            let s = MetricsSink::enabled();
+            s.set_experiment("e");
+            s.counter_add("b", None, "c", 1.5);
+            s.counter_add("a", Some(3), "c", 2.0);
+            s.gauge_set("a", None, "g", 0.125);
+            s.observe("a", None, "h", &[0.5, 1.0], 0.75);
+            s.snapshot()
+        };
+        let (s1, s2) = (record(), record());
+        assert_eq!(
+            s1.to_json(),
+            s2.to_json(),
+            "snapshots must be byte-identical"
+        );
+        let parsed = Snapshot::from_json(&s1.to_json()).unwrap();
+        assert_eq!(parsed, s1);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let s = MetricsSink::enabled();
+        s.set_experiment("fig9");
+        s.counter_add("gemm", Some(1), "flops", 100.0);
+        s.gauge_set("gemm", None, "peak_flops", 7.0e12);
+        s.observe("gemm", None, "occupancy", &[0.5, 1.0], 0.75);
+        let text = s.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE wsvd_flops counter"), "{text}");
+        assert!(
+            text.contains("wsvd_flops{experiment=\"fig9\",kernel=\"gemm\",level=\"1\"} 100"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE wsvd_occupancy histogram"), "{text}");
+        assert!(text.contains("wsvd_occupancy_bucket"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("wsvd_occupancy_count"), "{text}");
+        assert!(text.contains("# TYPE wsvd_peak_flops gauge"), "{text}");
+    }
+
+    #[test]
+    fn global_defaults_to_disabled() {
+        // install_global is process-wide; only assert the uninstalled view.
+        assert!(!global().is_enabled() || GLOBAL.get().is_some());
+    }
+}

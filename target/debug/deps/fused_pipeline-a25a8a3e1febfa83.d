@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fused_pipeline-a25a8a3e1febfa83.d: tests/fused_pipeline.rs
+
+/root/repo/target/debug/deps/fused_pipeline-a25a8a3e1febfa83: tests/fused_pipeline.rs
+
+tests/fused_pipeline.rs:

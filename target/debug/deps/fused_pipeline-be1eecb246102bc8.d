@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_pipeline-be1eecb246102bc8.d: tests/fused_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_pipeline-be1eecb246102bc8.rmeta: tests/fused_pipeline.rs Cargo.toml
+
+tests/fused_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_baselines-bce090924c167938.d: tests/integration_baselines.rs
+
+/root/repo/target/debug/deps/integration_baselines-bce090924c167938: tests/integration_baselines.rs
+
+tests/integration_baselines.rs:

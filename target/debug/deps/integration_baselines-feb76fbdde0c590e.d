@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_baselines-feb76fbdde0c590e.d: tests/integration_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_baselines-feb76fbdde0c590e.rmeta: tests/integration_baselines.rs Cargo.toml
+
+tests/integration_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_wcycle-8d6b57ec6f4057a1.d: tests/integration_wcycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_wcycle-8d6b57ec6f4057a1.rmeta: tests/integration_wcycle.rs Cargo.toml
+
+tests/integration_wcycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

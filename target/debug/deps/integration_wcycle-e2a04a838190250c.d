@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_wcycle-e2a04a838190250c.d: tests/integration_wcycle.rs
+
+/root/repo/target/debug/deps/integration_wcycle-e2a04a838190250c: tests/integration_wcycle.rs
+
+tests/integration_wcycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_integration-1da4483d7c27bfeb.d: tests/metrics_integration.rs
+
+/root/repo/target/debug/deps/metrics_integration-1da4483d7c27bfeb: tests/metrics_integration.rs
+
+tests/metrics_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_integration-c8df3fc71ba33766.d: tests/metrics_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_integration-c8df3fc71ba33766.rmeta: tests/metrics_integration.rs Cargo.toml
+
+tests/metrics_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-8346ebd473e4012a.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-8346ebd473e4012a: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-36cf8e6202f18525.d: crates/batched/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-36cf8e6202f18525: crates/batched/tests/proptests.rs
+
+crates/batched/tests/proptests.rs:

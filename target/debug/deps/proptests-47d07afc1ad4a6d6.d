@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-47d07afc1ad4a6d6.d: crates/jacobi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-47d07afc1ad4a6d6: crates/jacobi/tests/proptests.rs
+
+crates/jacobi/tests/proptests.rs:

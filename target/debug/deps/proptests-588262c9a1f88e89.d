@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-588262c9a1f88e89.d: crates/batched/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-588262c9a1f88e89.rmeta: crates/batched/tests/proptests.rs Cargo.toml
+
+crates/batched/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7e8f7af7d660b737.d: crates/jacobi/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7e8f7af7d660b737.rmeta: crates/jacobi/tests/proptests.rs Cargo.toml
+
+crates/jacobi/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

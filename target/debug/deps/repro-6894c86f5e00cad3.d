@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6894c86f5e00cad3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6894c86f5e00cad3: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

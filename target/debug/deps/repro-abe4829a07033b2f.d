@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-abe4829a07033b2f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-abe4829a07033b2f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sanitizer_integration-3539ff613d04dfeb.d: tests/sanitizer_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsanitizer_integration-3539ff613d04dfeb.rmeta: tests/sanitizer_integration.rs Cargo.toml
+
+tests/sanitizer_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

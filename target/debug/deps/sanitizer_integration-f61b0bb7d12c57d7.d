@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sanitizer_integration-f61b0bb7d12c57d7.d: tests/sanitizer_integration.rs
+
+/root/repo/target/debug/deps/sanitizer_integration-f61b0bb7d12c57d7: tests/sanitizer_integration.rs
+
+tests/sanitizer_integration.rs:

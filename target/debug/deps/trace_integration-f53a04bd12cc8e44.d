@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_integration-f53a04bd12cc8e44.d: tests/trace_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_integration-f53a04bd12cc8e44.rmeta: tests/trace_integration.rs Cargo.toml
+
+tests/trace_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_integration-f8054725e42207b5.d: tests/trace_integration.rs
+
+/root/repo/target/debug/deps/trace_integration-f8054725e42207b5: tests/trace_integration.rs
+
+tests/trace_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wcycle-a09e5523537af67b.d: crates/bench/benches/wcycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwcycle-a09e5523537af67b.rmeta: crates/bench/benches/wcycle.rs Cargo.toml
+
+crates/bench/benches/wcycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcycle_svd-33fcbbc1205d52f6.d: src/lib.rs
+
+/root/repo/target/debug/deps/wcycle_svd-33fcbbc1205d52f6: src/lib.rs
+
+src/lib.rs:

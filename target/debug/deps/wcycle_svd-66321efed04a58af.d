@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wcycle_svd-66321efed04a58af.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwcycle_svd-66321efed04a58af.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

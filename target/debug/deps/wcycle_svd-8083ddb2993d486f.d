@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcycle_svd-8083ddb2993d486f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-8083ddb2993d486f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwcycle_svd-8083ddb2993d486f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsvd_apps-592d0b628d88c2dc.d: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/debug/deps/libwsvd_apps-592d0b628d88c2dc.rlib: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/debug/deps/libwsvd_apps-592d0b628d88c2dc.rmeta: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/assimilation.rs:
+crates/apps/src/compression.rs:
+crates/apps/src/filters.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsvd_apps-b8d48237a68d8c43.d: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/debug/deps/libwsvd_apps-b8d48237a68d8c43.rlib: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/debug/deps/libwsvd_apps-b8d48237a68d8c43.rmeta: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/assimilation.rs:
+crates/apps/src/compression.rs:
+crates/apps/src/filters.rs:

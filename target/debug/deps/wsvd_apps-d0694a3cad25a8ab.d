@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/wsvd_apps-d0694a3cad25a8ab.d: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+/root/repo/target/debug/deps/wsvd_apps-d0694a3cad25a8ab: crates/apps/src/lib.rs crates/apps/src/assimilation.rs crates/apps/src/compression.rs crates/apps/src/filters.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/assimilation.rs:
+crates/apps/src/compression.rs:
+crates/apps/src/filters.rs:

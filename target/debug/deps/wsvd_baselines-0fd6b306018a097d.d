@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsvd_baselines-0fd6b306018a097d.d: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+/root/repo/target/debug/deps/libwsvd_baselines-0fd6b306018a097d.rlib: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+/root/repo/target/debug/deps/libwsvd_baselines-0fd6b306018a097d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/block.rs:
+crates/baselines/src/cusolver.rs:
+crates/baselines/src/dp.rs:
+crates/baselines/src/magma.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsvd_baselines-9291186716e889fc.d: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+/root/repo/target/debug/deps/wsvd_baselines-9291186716e889fc: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/block.rs:
+crates/baselines/src/cusolver.rs:
+crates/baselines/src/dp.rs:
+crates/baselines/src/magma.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsvd_baselines-eda3d1ed2adce269.d: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_baselines-eda3d1ed2adce269.rmeta: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/block.rs:
+crates/baselines/src/cusolver.rs:
+crates/baselines/src/dp.rs:
+crates/baselines/src/magma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsvd_batched-949ed4922fe7c702.d: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+/root/repo/target/debug/deps/libwsvd_batched-949ed4922fe7c702.rlib: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+/root/repo/target/debug/deps/libwsvd_batched-949ed4922fe7c702.rmeta: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+crates/batched/src/lib.rs:
+crates/batched/src/alpha.rs:
+crates/batched/src/autotune.rs:
+crates/batched/src/gemm.rs:
+crates/batched/src/models.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/wsvd_bench-db946ac699328a68.d: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/metrics_report.rs crates/bench/src/report.rs crates/bench/src/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_bench-db946ac699328a68.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/metrics_report.rs crates/bench/src/report.rs crates/bench/src/scale.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_apps.rs:
+crates/bench/src/exp_baselines.rs:
+crates/bench/src/exp_extensions.rs:
+crates/bench/src/exp_kernels.rs:
+crates/bench/src/exp_tailoring.rs:
+crates/bench/src/metrics_report.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

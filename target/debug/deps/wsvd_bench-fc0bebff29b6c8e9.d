@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wsvd_bench-fc0bebff29b6c8e9.d: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/metrics_report.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/wsvd_bench-fc0bebff29b6c8e9: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/metrics_report.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_apps.rs:
+crates/bench/src/exp_baselines.rs:
+crates/bench/src/exp_extensions.rs:
+crates/bench/src/exp_kernels.rs:
+crates/bench/src/exp_tailoring.rs:
+crates/bench/src/metrics_report.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:

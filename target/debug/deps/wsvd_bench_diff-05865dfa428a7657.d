@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsvd_bench_diff-05865dfa428a7657.d: crates/bench/src/bin/wsvd_bench_diff.rs
+
+/root/repo/target/debug/deps/wsvd_bench_diff-05865dfa428a7657: crates/bench/src/bin/wsvd_bench_diff.rs
+
+crates/bench/src/bin/wsvd_bench_diff.rs:

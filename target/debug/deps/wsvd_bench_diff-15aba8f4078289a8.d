@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsvd_bench_diff-15aba8f4078289a8.d: crates/bench/src/bin/wsvd_bench_diff.rs
+
+/root/repo/target/debug/deps/wsvd_bench_diff-15aba8f4078289a8: crates/bench/src/bin/wsvd_bench_diff.rs
+
+crates/bench/src/bin/wsvd_bench_diff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsvd_bench_diff-8be449426acc056c.d: crates/bench/src/bin/wsvd_bench_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_bench_diff-8be449426acc056c.rmeta: crates/bench/src/bin/wsvd_bench_diff.rs Cargo.toml
+
+crates/bench/src/bin/wsvd_bench_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

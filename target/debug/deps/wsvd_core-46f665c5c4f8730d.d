@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsvd_core-46f665c5c4f8730d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+/root/repo/target/debug/deps/libwsvd_core-46f665c5c4f8730d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+/root/repo/target/debug/deps/libwsvd_core-46f665c5c4f8730d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/verify.rs:
+crates/core/src/wcycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsvd_core-5425391be3a24620.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+/root/repo/target/debug/deps/wsvd_core-5425391be3a24620: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/verify.rs:
+crates/core/src/wcycle.rs:

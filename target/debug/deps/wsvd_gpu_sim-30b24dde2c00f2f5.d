@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/wsvd_gpu_sim-30b24dde2c00f2f5.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_gpu_sim-30b24dde2c00f2f5.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cluster.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/graph.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/sanitize.rs:
+crates/gpu-sim/src/smem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wsvd_gpu_sim-b4f0e195ec31433b.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+/root/repo/target/debug/deps/libwsvd_gpu_sim-b4f0e195ec31433b.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+/root/repo/target/debug/deps/libwsvd_gpu_sim-b4f0e195ec31433b.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cluster.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/graph.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/sanitize.rs:
+crates/gpu-sim/src/smem.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsvd_jacobi-4a1ed1d52c06825e.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+/root/repo/target/debug/deps/libwsvd_jacobi-4a1ed1d52c06825e.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+/root/repo/target/debug/deps/libwsvd_jacobi-4a1ed1d52c06825e.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+crates/jacobi/src/lib.rs:
+crates/jacobi/src/batch.rs:
+crates/jacobi/src/evd.rs:
+crates/jacobi/src/fits.rs:
+crates/jacobi/src/onesided.rs:
+crates/jacobi/src/ordering.rs:
+crates/jacobi/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsvd_jacobi-adfbeb93b27f3d8e.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+/root/repo/target/debug/deps/libwsvd_jacobi-adfbeb93b27f3d8e.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+/root/repo/target/debug/deps/libwsvd_jacobi-adfbeb93b27f3d8e.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+crates/jacobi/src/lib.rs:
+crates/jacobi/src/batch.rs:
+crates/jacobi/src/evd.rs:
+crates/jacobi/src/fits.rs:
+crates/jacobi/src/onesided.rs:
+crates/jacobi/src/ordering.rs:
+crates/jacobi/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsvd_metrics-080fa594ddc797e4.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/wsvd_metrics-080fa594ddc797e4: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

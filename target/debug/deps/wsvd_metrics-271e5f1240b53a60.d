@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsvd_metrics-271e5f1240b53a60.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_metrics-271e5f1240b53a60.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_metrics-271e5f1240b53a60.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

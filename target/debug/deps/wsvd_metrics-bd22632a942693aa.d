@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsvd_metrics-bd22632a942693aa.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_metrics-bd22632a942693aa.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libwsvd_metrics-bd22632a942693aa.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

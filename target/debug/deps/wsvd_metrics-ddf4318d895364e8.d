@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsvd_metrics-ddf4318d895364e8.d: crates/metrics/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsvd_metrics-ddf4318d895364e8.rmeta: crates/metrics/src/lib.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotune_report-175ab19e16489e83.d: examples/autotune_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotune_report-175ab19e16489e83.rmeta: examples/autotune_report.rs Cargo.toml
+
+examples/autotune_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

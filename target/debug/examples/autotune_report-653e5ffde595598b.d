@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_report-653e5ffde595598b.d: examples/autotune_report.rs
+
+/root/repo/target/debug/examples/autotune_report-653e5ffde595598b: examples/autotune_report.rs
+
+examples/autotune_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_assimilation-730bf572650ae6a3.d: examples/data_assimilation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_assimilation-730bf572650ae6a3.rmeta: examples/data_assimilation.rs Cargo.toml
+
+examples/data_assimilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

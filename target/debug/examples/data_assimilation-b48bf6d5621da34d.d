@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_assimilation-b48bf6d5621da34d.d: examples/data_assimilation.rs
+
+/root/repo/target/debug/examples/data_assimilation-b48bf6d5621da34d: examples/data_assimilation.rs
+
+examples/data_assimilation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_compression-23b51da208aaed05.d: examples/image_compression.rs
+
+/root/repo/target/debug/examples/image_compression-23b51da208aaed05: examples/image_compression.rs
+
+examples/image_compression.rs:

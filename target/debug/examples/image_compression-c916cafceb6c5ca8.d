@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_compression-c916cafceb6c5ca8.d: examples/image_compression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_compression-c916cafceb6c5ca8.rmeta: examples/image_compression.rs Cargo.toml
+
+examples/image_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

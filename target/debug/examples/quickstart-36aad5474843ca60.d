@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-36aad5474843ca60.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-36aad5474843ca60: examples/quickstart.rs
+
+examples/quickstart.rs:

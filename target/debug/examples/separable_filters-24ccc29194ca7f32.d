@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/separable_filters-24ccc29194ca7f32.d: examples/separable_filters.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseparable_filters-24ccc29194ca7f32.rmeta: examples/separable_filters.rs Cargo.toml
+
+examples/separable_filters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

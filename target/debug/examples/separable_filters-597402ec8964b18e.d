@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/separable_filters-597402ec8964b18e.d: examples/separable_filters.rs
+
+/root/repo/target/debug/examples/separable_filters-597402ec8964b18e: examples/separable_filters.rs
+
+examples/separable_filters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d86f985ccd9e291b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d86f985ccd9e291b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

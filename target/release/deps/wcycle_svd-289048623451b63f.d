@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wcycle_svd-289048623451b63f.d: src/lib.rs
+
+/root/repo/target/release/deps/libwcycle_svd-289048623451b63f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwcycle_svd-289048623451b63f.rmeta: src/lib.rs
+
+src/lib.rs:

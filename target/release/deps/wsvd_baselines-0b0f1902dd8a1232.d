@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsvd_baselines-0b0f1902dd8a1232.d: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+/root/repo/target/release/deps/libwsvd_baselines-0b0f1902dd8a1232.rlib: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+/root/repo/target/release/deps/libwsvd_baselines-0b0f1902dd8a1232.rmeta: crates/baselines/src/lib.rs crates/baselines/src/block.rs crates/baselines/src/cusolver.rs crates/baselines/src/dp.rs crates/baselines/src/magma.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/block.rs:
+crates/baselines/src/cusolver.rs:
+crates/baselines/src/dp.rs:
+crates/baselines/src/magma.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsvd_batched-1ba918d022d795d7.d: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+/root/repo/target/release/deps/libwsvd_batched-1ba918d022d795d7.rlib: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+/root/repo/target/release/deps/libwsvd_batched-1ba918d022d795d7.rmeta: crates/batched/src/lib.rs crates/batched/src/alpha.rs crates/batched/src/autotune.rs crates/batched/src/gemm.rs crates/batched/src/models.rs
+
+crates/batched/src/lib.rs:
+crates/batched/src/alpha.rs:
+crates/batched/src/autotune.rs:
+crates/batched/src/gemm.rs:
+crates/batched/src/models.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/wsvd_bench-236083daa3063127.d: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/metrics_report.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libwsvd_bench-236083daa3063127.rlib: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/metrics_report.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libwsvd_bench-236083daa3063127.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_apps.rs crates/bench/src/exp_baselines.rs crates/bench/src/exp_extensions.rs crates/bench/src/exp_kernels.rs crates/bench/src/exp_tailoring.rs crates/bench/src/metrics_report.rs crates/bench/src/report.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_apps.rs:
+crates/bench/src/exp_baselines.rs:
+crates/bench/src/exp_extensions.rs:
+crates/bench/src/exp_kernels.rs:
+crates/bench/src/exp_tailoring.rs:
+crates/bench/src/metrics_report.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:

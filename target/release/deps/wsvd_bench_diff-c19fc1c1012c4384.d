@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wsvd_bench_diff-c19fc1c1012c4384.d: crates/bench/src/bin/wsvd_bench_diff.rs
+
+/root/repo/target/release/deps/wsvd_bench_diff-c19fc1c1012c4384: crates/bench/src/bin/wsvd_bench_diff.rs
+
+crates/bench/src/bin/wsvd_bench_diff.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsvd_core-df1a9dd65441c940.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+/root/repo/target/release/deps/libwsvd_core-df1a9dd65441c940.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+/root/repo/target/release/deps/libwsvd_core-df1a9dd65441c940.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/stats.rs crates/core/src/verify.rs crates/core/src/wcycle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/stats.rs:
+crates/core/src/verify.rs:
+crates/core/src/wcycle.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wsvd_gpu_sim-34a89c142ad359a7.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+/root/repo/target/release/deps/libwsvd_gpu_sim-34a89c142ad359a7.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+/root/repo/target/release/deps/libwsvd_gpu_sim-34a89c142ad359a7.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cluster.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/graph.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/sanitize.rs crates/gpu-sim/src/smem.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cluster.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/graph.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/sanitize.rs:
+crates/gpu-sim/src/smem.rs:

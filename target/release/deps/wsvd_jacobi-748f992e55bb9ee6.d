@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wsvd_jacobi-748f992e55bb9ee6.d: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+/root/repo/target/release/deps/libwsvd_jacobi-748f992e55bb9ee6.rlib: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+/root/repo/target/release/deps/libwsvd_jacobi-748f992e55bb9ee6.rmeta: crates/jacobi/src/lib.rs crates/jacobi/src/batch.rs crates/jacobi/src/evd.rs crates/jacobi/src/fits.rs crates/jacobi/src/onesided.rs crates/jacobi/src/ordering.rs crates/jacobi/src/verify.rs
+
+crates/jacobi/src/lib.rs:
+crates/jacobi/src/batch.rs:
+crates/jacobi/src/evd.rs:
+crates/jacobi/src/fits.rs:
+crates/jacobi/src/onesided.rs:
+crates/jacobi/src/ordering.rs:
+crates/jacobi/src/verify.rs:

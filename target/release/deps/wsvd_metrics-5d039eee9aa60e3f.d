@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wsvd_metrics-5d039eee9aa60e3f.d: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/libwsvd_metrics-5d039eee9aa60e3f.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/libwsvd_metrics-5d039eee9aa60e3f.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

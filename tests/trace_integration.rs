@@ -151,7 +151,10 @@ fn repeated_seeded_runs_export_identical_traces() {
     // The `plan-cache` counter track carries the *process-cumulative*
     // hit/miss counts of the global autotune plan cache, so it is the one
     // track that legitimately differs between a cold first run and a warm
-    // second run. Everything else must be byte-identical.
+    // second run. Everything else must be byte-identical. (The wsvd-metrics
+    // registry fixes this for metrics consumers: it records hit/miss as
+    // per-call increments, so `Snapshot::since` yields exact per-run deltas
+    // — see `metrics_integration::plan_cache_counters_are_per_run_deltas`.)
     let run = || {
         let (_gpu, sink) = traced_workload();
         let (events, processes) = (sink.events(), sink.processes());
