@@ -174,9 +174,28 @@ pub fn analysis_step_distributed_with(
 ) -> Result<AnalysisResult, KernelError> {
     let indices: Vec<usize> = (0..problem.anomalies.len()).collect();
     let shards = cluster.shard(&indices);
+    let n_ranks = shards.len();
+    let alive: Vec<usize> = (0..n_ranks).filter(|&r| cluster.is_alive(r)).collect();
+    if alive.is_empty() {
+        return Err(KernelError::Other(
+            "analysis step: every cluster rank is dead; no shard can run".to_string(),
+        ));
+    }
+    // A dead rank's shard fails over to the next alive rank (wrapping), so a
+    // killed device costs throughput but never the analysis. With nothing
+    // killed this is the identity mapping and the schedule is unchanged.
+    let mut work: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+    for (rank, shard) in shards.iter().enumerate() {
+        let target = if cluster.is_alive(rank) {
+            rank
+        } else {
+            *alive.iter().find(|&&a| a > rank).unwrap_or(&alive[0])
+        };
+        work[target].extend(shard.iter().copied());
+    }
     let mut weights: Vec<Option<Vec<f64>>> = vec![None; problem.anomalies.len()];
     let mut gathered_bytes = 0u64;
-    for (rank, shard) in shards.iter().enumerate() {
+    for (rank, shard) in work.iter().enumerate() {
         if shard.is_empty() {
             continue;
         }
@@ -312,6 +331,39 @@ mod tests {
         }
         assert!(fused_overhead < serial_overhead);
         assert!(fused.svd_seconds <= serial.svd_seconds);
+    }
+
+    #[test]
+    fn killed_rank_fails_over_and_fires_one_incident() {
+        let p = AssimilationProblem::generate(9, 12, 32, 17);
+        let gpu = Gpu::new(VEGA20);
+        let single = analysis_step(&gpu, &p, SvdEngine::WCycle).unwrap();
+
+        let sink = wsvd_health::HealthSink::enabled();
+        sink.set_context("assimilation-failover", 17);
+        let mut cluster = GpuCluster::new(VEGA20, 3);
+        cluster.set_health(sink.clone());
+        cluster.kill(1);
+        let dist = analysis_step_distributed(&cluster, &p, SvdEngine::WCycle).unwrap();
+        // The surviving ranks cover every grid point with identical numerics.
+        for (a, b) in dist.weights.iter().zip(&single.weights) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+        let incidents = sink.incidents();
+        assert_eq!(incidents.len(), 1, "exactly one shard-dead incident");
+        assert_eq!(incidents[0].kind, "shard-dead");
+    }
+
+    #[test]
+    fn all_ranks_dead_is_an_error() {
+        let p = AssimilationProblem::generate(4, 10, 20, 5);
+        let cluster = GpuCluster::new(VEGA20, 2);
+        cluster.kill(0);
+        cluster.kill(1);
+        let err = analysis_step_distributed(&cluster, &p, SvdEngine::WCycle).unwrap_err();
+        assert!(format!("{err}").contains("every cluster rank is dead"));
     }
 
     #[test]

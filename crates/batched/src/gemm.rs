@@ -191,7 +191,9 @@ pub fn batched_gram(
                 ctx.count_gm_load(m * n);
                 ctx.par_step(n * n, 2 * m as u64);
                 ctx.count_gm_store(n * n);
-                Ok(gram(a))
+                let g = gram(a);
+                ctx.guard_finite(g.as_slice());
+                Ok(g)
             })
         }
         GemmStrategy::Tailored(plan) => {
@@ -213,7 +215,9 @@ pub fn batched_gram(
                     ctx.count_gm_load(seg.rows * n);
                     ctx.par_step(n * n, 2 * seg.rows as u64);
                     ctx.count_gm_store(n * n); // result (or partial) to GM
-                    out.push((seg.gemm, gram(&sub)));
+                    let g = gram(&sub);
+                    ctx.guard_finite(g.as_slice());
+                    out.push((seg.gemm, g));
                 }
                 Ok(out)
             })?;
@@ -251,6 +255,7 @@ pub fn batched_gram(
                 }
                 ctx.par_step(n * n, parts.len().max(1) as u64);
                 ctx.count_gm_store(n * n);
+                ctx.guard_finite(acc.as_slice());
                 Ok(acc)
             })?;
             Ok((grams, merge_stats(stats1, stats2)))
@@ -277,6 +282,7 @@ pub fn batched_update(
                 ctx.par_step(m * n, 2 * n as u64);
                 ctx.count_gm_store(m * n);
                 *a = matmul(a, j);
+                ctx.guard_finite(a.as_slice());
                 Ok(())
             })?;
             Ok(stats)
@@ -296,7 +302,9 @@ pub fn batched_update(
                     ctx.count_gm_load(seg.rows * n + n * n);
                     ctx.par_step(seg.rows * n, 2 * n as u64);
                     ctx.count_gm_store(seg.rows * n);
-                    out.push((*seg, matmul(&sub, j)));
+                    let upd = matmul(&sub, j);
+                    ctx.guard_finite(upd.as_slice());
+                    out.push((*seg, upd));
                 }
                 Ok(out)
             })?;

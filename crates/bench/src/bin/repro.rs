@@ -11,6 +11,8 @@
 //!   repro --report [<id> ...]        # per-kernel profiler report (wsvd-metrics)
 //!   repro --bench-out FILE [...]     # write a perf snapshot for wsvd-bench-diff
 //!   repro --prom FILE [...]          # export the registry as Prometheus text
+//!   repro --health [<id> ...]        # numerical-health watchdogs + flight recorder
+//!   repro --health-dump FILE [...]   # also write the full health report as JSON
 //! ```
 //!
 //! `--trace FILE` records every simulated kernel launch, W-cycle sweep and
@@ -35,6 +37,16 @@
 //! `BENCH_<n>.json` and gate CI with `wsvd-bench-diff --gate`. `--prom FILE`
 //! exports the same registry in Prometheus text exposition format.
 //!
+//! `--health` arms the wsvd-health watchdogs (another strict no-op when off):
+//! NaN/Inf guards at kernel boundaries, per-sweep stagnation/divergence
+//! detection, per-batch residual/orthogonality drift monitors, dead-shard
+//! detection at cluster barriers, and an always-on flight recorder whose tail
+//! is embedded in every structured incident. After the experiments run a
+//! per-experiment summary is printed and the process exits non-zero if any
+//! incident fired. `--health-dump FILE` (implies `--health`) additionally
+//! writes the full [`wsvd_health::HealthReport`] — incidents, ring-buffer
+//! tail, metrics snapshot and replayable seeds — as JSON.
+//!
 //! `--fused` makes every W-cycle run record its per-level launches into a
 //! [`wsvd_gpu_sim::LaunchGraph`], paying the driver's launch overhead once
 //! per level instead of once per kernel (back-to-back same-shape launches
@@ -58,6 +70,8 @@ fn main() {
     let mut report = false;
     let mut bench_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
+    let mut health = false;
+    let mut health_dump: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -83,6 +97,8 @@ fn main() {
             "--report" => report = true,
             "--bench-out" => bench_out = Some(it.next().expect("--bench-out needs a file")),
             "--prom" => prom_out = Some(it.next().expect("--prom needs a file")),
+            "--health" => health = true,
+            "--health-dump" => health_dump = Some(it.next().expect("--health-dump needs a file")),
             other => ids.push(other.to_string()),
         }
     }
@@ -114,6 +130,45 @@ fn main() {
         wsvd_metrics::install_global(sink.clone());
         sink
     });
+    // And for the health watchdogs: every `Gpu` resolves the global health
+    // sink at construction time, so `--health` must install it up front.
+    // Off by default — the disabled sink is a strict no-op and the simulated
+    // clock stays bit-identical.
+    let health_sink = (health || health_dump.is_some()).then(|| {
+        let sink = wsvd_health::HealthSink::enabled();
+        wsvd_health::install_global(sink.clone());
+        if let Some(m) = &metrics_sink {
+            sink.set_metrics(m.clone());
+        }
+        sink
+    });
+    let finish_health = |sink: &Option<wsvd_health::HealthSink>, ids: &[String]| -> bool {
+        let Some(sink) = sink else { return false };
+        if let Some(path) = &health_dump {
+            std::fs::write(path, sink.report_json()).expect("write health report");
+            eprintln!("wrote health report to {path}");
+        }
+        eprintln!(
+            "wsvd-health: {} flight event(s) recorded, {} incident(s) ({} suppressed repeat(s))",
+            sink.events_recorded(),
+            sink.incident_count(),
+            sink.suppressed(),
+        );
+        let summary = sink.summary();
+        for id in ids {
+            match summary.get(id) {
+                Some(n) => eprintln!("  {id:>12}  {n} incident(s)"),
+                None => eprintln!("  {id:>12}  OK"),
+            }
+        }
+        for inc in sink.incidents() {
+            eprintln!(
+                "  INCIDENT [{}] {} (replay seed {}): {}",
+                inc.kind, inc.experiment, inc.seed, inc.detail
+            );
+        }
+        sink.incident_count() > 0
+    };
     let dump_metrics =
         |sink: &Option<wsvd_metrics::MetricsSink>, scale: wsvd_bench::Scale, ids: &[String]| {
             let Some(sink) = sink else { return };
@@ -178,6 +233,9 @@ fn main() {
             if let Some(sink) = &metrics_sink {
                 sink.set_experiment(id);
             }
+            if let Some(sink) = &health_sink {
+                sink.set_context(id, 0);
+            }
             let fresh = f(scale);
             match fresh.diff(&baseline) {
                 None => println!("{id:>12}  PASS"),
@@ -189,12 +247,13 @@ fn main() {
         }
         dump_trace(&trace_sink);
         dump_metrics(&metrics_sink, scale, &ids);
-        std::process::exit(if failed > 0 { 1 } else { 0 });
+        let unhealthy = finish_health(&health_sink, &ids);
+        std::process::exit(if failed > 0 || unhealthy { 1 } else { 0 });
     }
     if ids.is_empty() {
         eprintln!(
             "usage: repro --all | <id>... [--scale reduced|full] [--json DIR] [--fused] \
-             [--report] [--bench-out FILE] [--prom FILE]"
+             [--report] [--bench-out FILE] [--prom FILE] [--health] [--health-dump FILE]"
         );
         eprintln!("known ids:");
         for (id, _) in &experiments {
@@ -210,6 +269,9 @@ fn main() {
         };
         if let Some(sink) = &metrics_sink {
             sink.set_experiment(id);
+        }
+        if let Some(sink) = &health_sink {
+            sink.set_context(id, 0);
         }
         let start = std::time::Instant::now();
         let rep = f(scale);
@@ -242,5 +304,8 @@ fn main() {
             "wsvd-sanitizer: clean — {} experiment(s) ran under full hazard checking",
             ids.len()
         );
+    }
+    if finish_health(&health_sink, &ids) {
+        std::process::exit(1);
     }
 }

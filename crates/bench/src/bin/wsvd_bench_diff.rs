@@ -3,16 +3,19 @@
 //!
 //! Usage:
 //! ```text
-//!   wsvd-bench-diff [--gate] [--tol-time R] [--tol-counter R] BASELINE NEW
+//!   wsvd-bench-diff [--gate] [--allow-new] [--tol-time R] [--tol-counter R] BASELINE NEW
 //! ```
 //!
 //! Every metric series in either snapshot is compared: time-like series
 //! (names ending `seconds`) under `--tol-time` (default 0.01 = 1%
 //! relative), all other counters/gauges and histogram counts under
 //! `--tol-counter` (default 0 = exact). Missing or extra series always
-//! violate. With `--gate` the process exits non-zero when any violation is
-//! found — CI regenerates a fresh snapshot and gates it against the
-//! committed `BENCH_<n>.json` baseline this way.
+//! violate, except that `--allow-new` accepts series present only in NEW —
+//! the flag CI uses when a release legitimately adds experiments and the
+//! fresh snapshot is gated against the *previous* baseline. With `--gate`
+//! the process exits non-zero when any violation is found — CI regenerates
+//! a fresh snapshot and gates it against the committed `BENCH_<n>.json`
+//! baseline this way.
 
 use wsvd_bench::{BenchSnapshot, Tolerances};
 
@@ -24,6 +27,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--gate" => gate = true,
+            "--allow-new" => tol.allow_new = true,
             "--tol-time" => {
                 tol.time = it
                     .next()
@@ -42,7 +46,10 @@ fn main() {
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: wsvd-bench-diff [--gate] [--tol-time R] [--tol-counter R] BASELINE NEW");
+        eprintln!(
+            "usage: wsvd-bench-diff [--gate] [--allow-new] [--tol-time R] [--tol-counter R] \
+             BASELINE NEW"
+        );
         std::process::exit(2);
     }
     let load = |path: &str| -> BenchSnapshot {

@@ -12,6 +12,7 @@ pub mod exp_accuracy;
 pub mod exp_apps;
 pub mod exp_baselines;
 pub mod exp_extensions;
+pub mod exp_health;
 pub mod exp_kernels;
 pub mod exp_tailoring;
 pub mod metrics_report;
@@ -56,5 +57,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-sanitize", exp_extensions::ext_sanitize),
         ("ext-fused", exp_extensions::ext_fused),
         ("ext-metrics", exp_extensions::ext_metrics),
+        ("ext-health", exp_health::ext_health),
     ]
 }

@@ -191,6 +191,10 @@ pub struct Tolerances {
     pub time: f64,
     /// Allowed relative drift on every other counter/gauge/histogram count.
     pub counter: f64,
+    /// Accept series present only in the new snapshot (series present only
+    /// in the baseline still violate). This is how CI gates a snapshot that
+    /// legitimately *adds* experiments against the previous baseline.
+    pub allow_new: bool,
 }
 
 impl Default for Tolerances {
@@ -198,6 +202,7 @@ impl Default for Tolerances {
         Tolerances {
             time: 0.01,
             counter: 0.0,
+            allow_new: false,
         }
     }
 }
@@ -283,8 +288,10 @@ impl BenchSnapshot {
                     }
                 }
                 (Some(_), None) => out.push(format!("histogram {key}: missing from new snapshot")),
-                (None, Some(_)) => out.push(format!("histogram {key}: not in baseline")),
-                (None, None) => {}
+                (None, Some(_)) if !tol.allow_new => {
+                    out.push(format!("histogram {key}: not in baseline"))
+                }
+                _ => {}
             }
         }
         out
@@ -320,8 +327,8 @@ fn compare_maps(
                 }
             }
             (Some(_), None) => out.push(format!("{kind} {key}: missing from new snapshot")),
-            (None, Some(_)) => out.push(format!("{kind} {key}: not in baseline")),
-            (None, None) => {}
+            (None, Some(_)) if !tol.allow_new => out.push(format!("{kind} {key}: not in baseline")),
+            _ => {}
         }
     }
 }
@@ -423,5 +430,29 @@ mod tests {
         assert_eq!(violations.len(), 2);
         assert!(violations.iter().any(|v| v.contains("missing from new")));
         assert!(violations.iter().any(|v| v.contains("not in baseline")));
+    }
+
+    #[test]
+    fn allow_new_accepts_added_series_but_not_removed_ones() {
+        let base = BenchSnapshot {
+            version: 1.0,
+            scale: "reduced".to_string(),
+            experiments: vec![],
+            metrics: sample_snapshot(),
+        };
+        let mut fresh = base.clone();
+        fresh
+            .metrics
+            .counters
+            .insert("t/new/-/thing".to_string(), 1.0);
+        let tol = Tolerances {
+            allow_new: true,
+            ..Tolerances::default()
+        };
+        assert!(base.compare(&fresh, &tol).is_empty());
+        fresh.metrics.counters.remove("t/evd/-/flops");
+        let violations = base.compare(&fresh, &tol);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing from new"));
     }
 }

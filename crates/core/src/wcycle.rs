@@ -24,8 +24,8 @@ use wsvd_jacobi::batch::{batched_evd_sm, batched_svd_sm};
 use wsvd_jacobi::evd::EvdConfig;
 use wsvd_jacobi::fits::{evd_fits_in_sm, svd_fits_in_sm};
 use wsvd_jacobi::onesided::{JacobiSvd, OneSidedConfig};
-use wsvd_linalg::gemm::dot;
-use wsvd_linalg::verify::{columns_converged, max_column_coherence};
+use wsvd_linalg::gemm::{dot, matmul};
+use wsvd_linalg::verify::{columns_converged, max_column_coherence, orthonormality_error};
 use wsvd_linalg::Matrix;
 
 use crate::config::{AlphaSelect, Tuning, WCycleConfig};
@@ -77,6 +77,8 @@ pub fn wcycle_svd(
     let smem = gpu.device().smem_per_block_bytes;
     let trace = gpu.trace().clone();
     let traced = trace.is_enabled();
+    let health = gpu.health().clone();
+    let watched = health.is_enabled();
     let mut stats = WCycleStats {
         sweeps_per_matrix: vec![0; mats.len()],
         ..Default::default()
@@ -148,13 +150,16 @@ pub fn wcycle_svd(
             cache_norms: cfg.cache_norms,
             accumulate_v: true,
             ordering: cfg.ordering,
-            record_coherence: traced,
+            record_coherence: traced || watched,
             ..Default::default()
         };
         let t_pre = gpu.elapsed_seconds();
         let (mut svds, _) = batched_svd_sm(gpu, &group, &one_sided, cfg.kernel_threads)?;
         if traced {
             trace_level0_sweeps(gpu, &trace, &svds, t_pre, gpu.elapsed_seconds());
+        }
+        if watched {
+            health_level0_sweeps(&health, &svds, t_pre, gpu.elapsed_seconds());
         }
         stats.level0_sm_svds = svds.len();
         // Level-0 registry metrics mirror the per-level hook in
@@ -278,11 +283,82 @@ pub fn wcycle_svd(
         }
     }
 
-    let results = slots
+    let results: Vec<WSvd> = slots
         .into_iter()
         .map(|s| s.expect("every input decomposed"))
         .collect();
+    // `tol == 0` is the explicit truncated-run mode (run exactly
+    // `max_sweeps`, converged or not — the accuracy experiments use it to
+    // chart error vs sweep count), so the convergence contract the drift
+    // monitors enforce is waived there.
+    if watched && cfg.tol > 0.0 {
+        health_batch_checks(&health, gpu.elapsed_seconds(), mats, &results);
+    }
     Ok(WCycleOutput { results, stats })
+}
+
+/// Mirrors [`trace_level0_sweeps`] into the health watchdogs: one
+/// [`sweep_sample`](wsvd_health::HealthSink::sweep_sample) per Level-0 sweep
+/// from the SM kernels' recorded coherence histories.
+fn health_level0_sweeps(
+    health: &wsvd_health::HealthSink,
+    svds: &[JacobiSvd],
+    t_pre: f64,
+    t_post: f64,
+) {
+    let s_max = svds.iter().map(|o| o.stats.sweeps).max().unwrap_or(0);
+    for s in 0..s_max {
+        let coherence = svds
+            .iter()
+            .filter_map(|o| o.coherence_per_sweep.get(s))
+            .fold(0.0f64, |acc, &c| acc.max(c));
+        let active = svds.iter().filter(|o| o.stats.sweeps > s + 1).count();
+        let ts = t_pre + (t_post - t_pre) * (s + 1) as f64 / s_max as f64;
+        health.sweep_sample(0, s + 1, coherence, active, ts);
+    }
+}
+
+/// End-of-run drift monitors: per matrix, the orthogonality error of the
+/// numerically significant left singular directions and (when V is
+/// available) the relative reconstruction residual, both fed to
+/// [`batch_check`](wsvd_health::HealthSink::batch_check). Directions with
+/// `sigma <= sigma_max * eps * max(m, n)` carry no reliable basis — on
+/// rank-deficient or extremely ill-conditioned inputs (the Table-VII
+/// cases) their vectors are arbitrary within round-off, so they are
+/// excluded rather than allowed to trip false alarms. Only called for
+/// converging runs (`tol > 0`): a truncated run is unconverged by design
+/// and its factors make no orthogonality promise. Host-side and
+/// health-gated: never charged to the cost model.
+fn health_batch_checks(
+    health: &wsvd_health::HealthSink,
+    t_sim: f64,
+    mats: &[Matrix],
+    results: &[WSvd],
+) {
+    for (k, (a, r)) in mats.iter().zip(results).enumerate() {
+        let sigma_max = r.sigma.first().copied().unwrap_or(0.0);
+        if !sigma_max.is_finite() || sigma_max <= 0.0 {
+            continue;
+        }
+        let (m, n) = a.shape();
+        let floor = sigma_max * f64::EPSILON * m.max(n) as f64;
+        // `sigma` is descending, so the significant directions are a prefix.
+        let significant = r.sigma.iter().take_while(|&&s| s > floor).count();
+        if significant == 0 {
+            continue;
+        }
+        let orthogonality = orthonormality_error(&r.u.col_block(0, significant));
+        let residual = r.v.as_ref().map(|v| {
+            let rank = r.sigma.len();
+            let mut us = thin(&r.u, rank);
+            for (j, &s) in r.sigma.iter().enumerate() {
+                us.col_mut(j).iter_mut().for_each(|x| *x *= s);
+            }
+            let recon = matmul(&us, &thin(v, rank).transpose());
+            recon.sub(a).max_abs() / sigma_max
+        });
+        health.batch_check(k, residual, orthogonality, t_sim);
+    }
 }
 
 /// Emits the Level-0 α-warp selection (§IV-B1) as an auto-tuner plan event:
@@ -389,14 +465,23 @@ fn decompose_level(
     let _graph = cfg.fused.then(|| gpu.launch_graph("wcycle level"));
     // Inner rotation generators must run tighter than the outer convergence
     // test, or the level's coherence plateaus just above `tol` (each pair
-    // block would retain up-to-`tol` residual coherence internally).
-    let inner_tol = (cfg.tol * 1e-2).max(1e-15);
+    // block would retain up-to-`tol` residual coherence internally). The
+    // override exists precisely to break this invariant on purpose — see
+    // `WCycleConfig::inner_tol_override`.
+    let inner_tol = cfg
+        .inner_tol_override
+        .unwrap_or((cfg.tol * 1e-2).max(1e-15));
     let sizes: Vec<(usize, usize)> = tasks.iter().map(|t| t.shape()).collect();
     let plan = resolve_plan(gpu, cfg, level, &sizes, w_cap);
     stats.note_width(level, plan.w);
     let trace = gpu.trace().clone();
     let traced = trace.is_enabled();
+    let health = gpu.health().clone();
+    let watched = health.is_enabled();
     let level_t0 = gpu.elapsed_seconds();
+    if watched {
+        health.plan_selected(level, plan.w, plan.delta, plan.threads, level_t0);
+    }
     let sanitizing = gpu.sanitize_enabled();
     if sanitizing {
         // Static half of the wsvd-sanitizer: prove the selected plan's
@@ -640,7 +725,7 @@ fn decompose_level(
         for t in 0..tasks.len() {
             if active[t] {
                 sweeps[t] += 1;
-                if traced {
+                if traced || watched {
                     coherence = coherence.max(max_column_coherence(&tasks[t]));
                 }
                 if columns_converged(&tasks[t], cfg.tol) {
@@ -648,6 +733,7 @@ fn decompose_level(
                 }
             }
         }
+        let still_active = active.iter().filter(|&&a| a).count();
         if traced {
             trace.instant(
                 gpu.trace_pid(),
@@ -662,8 +748,17 @@ fn decompose_level(
                     ("gb_gram_evd", sweep_gb.into()),
                     ("gc_recursed", sweep_gc.into()),
                     ("coherence", coherence.into()),
-                    ("active", active.iter().filter(|&&a| a).count().into()),
+                    ("active", still_active.into()),
                 ],
+            );
+        }
+        if watched {
+            health.sweep_sample(
+                level,
+                round + 1,
+                coherence,
+                still_active,
+                gpu.elapsed_seconds(),
             );
         }
     }
@@ -716,6 +811,16 @@ fn decompose_level(
         metrics.gauge_set("wcycle", Some(level), "plan_w", plan.w as f64);
         metrics.gauge_set("wcycle", Some(level), "plan_delta", plan.delta as f64);
         metrics.gauge_set("wcycle", Some(level), "plan_threads", plan.threads as f64);
+    }
+    if watched {
+        // Mirror the level's headline delta into the flight recorder so an
+        // incident's tail shows where simulated time went.
+        let now = gpu.elapsed_seconds();
+        health.metric_delta(
+            &format!("wcycle/L{level}/level_seconds"),
+            now - level_t0,
+            now,
+        );
     }
 
     Ok(vs
@@ -1532,5 +1637,123 @@ mod tests {
         assert!(g.nodes > 0);
         assert!(g.overhead_saved_seconds > 0.0);
         assert_eq!(serial_gpu.graph_stats().graphs, 0);
+    }
+
+    #[test]
+    fn health_off_is_bit_identical_to_watched_run() {
+        // The whole health layer is observational: simulated time and every
+        // numeric output must match bit for bit whether the sink is on or
+        // off. Covers both the Level-0 SM path and the block-rotation path.
+        let mats = {
+            let mut v = random_batch(2, 96, 96, 41);
+            v.extend(random_batch(3, 16, 16, 42));
+            v
+        };
+        let run = |with_health: bool| {
+            let mut gpu = Gpu::new(V100);
+            if with_health {
+                let sink = wsvd_health::HealthSink::enabled();
+                sink.set_context("bit-identity", 41);
+                gpu.set_health(sink);
+            }
+            let out = wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+            (gpu.elapsed_seconds(), gpu.timeline().totals, out)
+        };
+        let (t_off, c_off, out_off) = run(false);
+        let (t_on, c_on, out_on) = run(true);
+        assert_eq!(
+            t_off.to_bits(),
+            t_on.to_bits(),
+            "health must not perturb simulated time"
+        );
+        assert_eq!(c_off, c_on);
+        for (a, b) in out_off.results.iter().zip(&out_on.results) {
+            assert_eq!(a.sigma, b.sigma);
+            assert_eq!(a.u.as_slice(), b.u.as_slice());
+            assert_eq!(
+                a.v.as_ref().map(|v| v.as_slice()),
+                b.v.as_ref().map(|v| v.as_slice())
+            );
+        }
+    }
+
+    #[test]
+    fn clean_watched_run_fires_no_incidents() {
+        let sink = wsvd_health::HealthSink::enabled();
+        sink.set_context("clean", 7);
+        let mut gpu = Gpu::new(V100);
+        gpu.set_health(sink.clone());
+        let mats = {
+            let mut v = random_batch(2, 96, 96, 7);
+            v.extend(random_batch(4, 32, 32, 8));
+            v
+        };
+        wcycle_svd(&gpu, &mats, &WCycleConfig::default()).unwrap();
+        assert_eq!(
+            sink.incident_count(),
+            0,
+            "clean run must be green: {:?}",
+            sink.incidents()
+                .iter()
+                .map(|i| (i.kind.clone(), i.detail.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            sink.events_recorded() > 0,
+            "the flight recorder still observed the run"
+        );
+    }
+
+    #[test]
+    fn loosened_inner_tol_fires_exactly_one_stagnation_incident() {
+        // `inner_tol_override` looser than `tol` breaks the invariant that
+        // inner generators out-resolve the outer test: each sweep leaves the
+        // level's coherence stuck just above `tol`, the textbook stagnation
+        // the watchdog exists for.
+        let sink = wsvd_health::HealthSink::enabled();
+        sink.set_context("stagnation", 43);
+        let mut gpu = Gpu::new(V100);
+        gpu.set_health(sink.clone());
+        let mats = random_batch(1, 96, 96, 43);
+        let cfg = WCycleConfig {
+            tol: 1e-12,
+            inner_tol_override: Some(1e-4),
+            max_sweeps: 12,
+            ..WCycleConfig::default()
+        };
+        wcycle_svd(&gpu, &mats, &cfg).unwrap();
+        let incidents = sink.incidents();
+        let stagnations: Vec<_> = incidents
+            .iter()
+            .filter(|i| i.kind == "stagnation")
+            .collect();
+        assert_eq!(
+            stagnations.len(),
+            1,
+            "expected exactly one stagnation incident, got {incidents:?}"
+        );
+        let inc = stagnations[0];
+        assert_eq!(inc.seed, 43, "incident must carry the replayable seed");
+        assert!(inc.level.is_some());
+        assert!(
+            inc.plan.is_some(),
+            "the in-force plan is part of the report"
+        );
+        assert!(!inc.flight_tail.is_empty());
+
+        // Replay: regenerating from the embedded seed and re-running the
+        // same config deterministically reproduces the stagnation.
+        let replay_sink = wsvd_health::HealthSink::enabled();
+        replay_sink.set_context("replay", inc.seed);
+        let mut replay_gpu = Gpu::new(V100);
+        replay_gpu.set_health(replay_sink.clone());
+        let replay_mats = random_batch(1, 96, 96, inc.seed);
+        wcycle_svd(&replay_gpu, &replay_mats, &cfg).unwrap();
+        let replayed = replay_sink.incidents();
+        assert_eq!(
+            replayed.iter().filter(|i| i.kind == "stagnation").count(),
+            1,
+            "replay must reproduce the stagnation"
+        );
     }
 }

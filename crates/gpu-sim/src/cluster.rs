@@ -6,6 +6,9 @@
 //! independently (makespan = slowest shard), and every collective step pays
 //! a latency + bandwidth synchronization cost.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use wsvd_health::HealthSink;
 use wsvd_trace::TraceSink;
 
 use crate::device::DeviceSpec;
@@ -21,6 +24,12 @@ pub struct GpuCluster {
     sync_seconds: std::sync::atomic::AtomicU64,
     trace: TraceSink,
     trace_pid: u32,
+    health: HealthSink,
+    /// Fault-injection state: `killed[r]` marks rank `r` unresponsive;
+    /// `dead_reported[r]` latches the health check so one kill produces one
+    /// detection even though every later collective re-checks.
+    killed: Vec<AtomicBool>,
+    dead_reported: Vec<AtomicBool>,
 }
 
 impl GpuCluster {
@@ -50,6 +59,54 @@ impl GpuCluster {
             sync_seconds: std::sync::atomic::AtomicU64::new(0),
             trace,
             trace_pid,
+            health: wsvd_health::global(),
+            killed: (0..count).map(|_| AtomicBool::new(false)).collect(),
+            dead_reported: (0..count).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// The health sink shared by the cluster's collectives (disabled by
+    /// default).
+    pub fn health(&self) -> &HealthSink {
+        &self.health
+    }
+
+    /// Replaces the health sink on the cluster and every rank's GPU.
+    pub fn set_health(&mut self, sink: HealthSink) {
+        for gpu in &mut self.gpus {
+            gpu.set_health(sink.clone());
+        }
+        self.health = sink;
+    }
+
+    /// Marks rank `rank` unresponsive (fault injection for ROADMAP item 5).
+    /// The rank's accumulated time stays in the makespan — a dead shard is a
+    /// straggler, not a discount — and the next collective's health check
+    /// reports it.
+    pub fn kill(&self, rank: usize) {
+        self.killed[rank].store(true, Ordering::Release);
+        self.health.shard_killed(rank, self.elapsed_seconds());
+    }
+
+    /// True while `rank` has not been killed.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        !self.killed[rank].load(Ordering::Acquire)
+    }
+
+    /// Detects killed ranks the way a real collective does — by their
+    /// absence at the barrier. Fires one `shard-dead` incident per killed
+    /// rank (latched). Called from [`GpuCluster::sync`] when health is on;
+    /// callers running collective-free phases may also call it directly.
+    pub fn health_check(&self) {
+        if !self.health.is_enabled() {
+            return;
+        }
+        for (rank, killed) in self.killed.iter().enumerate() {
+            if killed.load(Ordering::Acquire)
+                && !self.dead_reported[rank].swap(true, Ordering::AcqRel)
+            {
+                self.health.shard_dead(rank, self.elapsed_seconds());
+            }
         }
     }
 
@@ -107,6 +164,10 @@ impl GpuCluster {
                 secs,
                 vec![("bytes", bytes.into())],
             );
+        }
+        if self.health.is_enabled() {
+            self.health.shard_sync(bytes, secs, self.elapsed_seconds());
+            self.health_check();
         }
     }
 
@@ -228,6 +289,43 @@ mod tests {
             (got - want).abs() < want * 1e-12,
             "lost sync updates: got {got}, want {want}"
         );
+    }
+
+    #[test]
+    fn killed_rank_fires_one_shard_dead_incident() {
+        let mut c = GpuCluster::new(VEGA20, 4);
+        let health = wsvd_health::HealthSink::enabled();
+        health.set_context("cluster-test", 7);
+        c.set_health(health.clone());
+        assert!(c.is_alive(2));
+        c.kill(2);
+        assert!(!c.is_alive(2));
+        assert_eq!(health.incident_count(), 0, "detection waits for a barrier");
+        c.sync(1_000);
+        c.sync(1_000); // re-checks must not duplicate the incident
+        let incidents = health.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].kind, "shard-dead");
+        assert!(incidents[0].detail.contains("rank 2"));
+        // The flight tail holds the kill marker and both collectives.
+        let tail = health.tail();
+        assert!(tail
+            .iter()
+            .any(|e| matches!(e.kind, wsvd_health::FlightKind::ShardKilled { rank: 2 })));
+        assert!(tail
+            .iter()
+            .any(|e| matches!(e.kind, wsvd_health::FlightKind::ShardSync { .. })));
+    }
+
+    #[test]
+    fn health_off_cluster_is_inert() {
+        let c = GpuCluster::new(VEGA20, 2);
+        assert!(!c.health().is_enabled());
+        c.kill(1);
+        c.sync(1_000);
+        // No sink: nothing recorded, timing identical to the formula.
+        let per_call = c.sync_latency + 1_000.0 / c.link_bandwidth;
+        assert!((c.elapsed_sync_seconds() - per_call).abs() < 1e-18);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::BinaryHeap;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use wsvd_health::HealthSink;
 use wsvd_metrics::MetricsSink;
 use wsvd_trace::TraceSink;
 
@@ -101,9 +102,10 @@ impl KernelConfig {
     }
 }
 
-/// What one retired block hands back to the launch machinery: its counters
-/// plus the sanitizer's findings (when enabled).
-type BlockOutput = (BlockCounters, Option<BlockSanitizeOutcome>);
+/// What one retired block hands back to the launch machinery: its counters,
+/// the sanitizer's findings (when enabled), and the first non-finite value
+/// the health guard saw (when health is on).
+type BlockOutput = (BlockCounters, Option<BlockSanitizeOutcome>, Option<String>);
 
 /// Execution context handed to each simulated thread block.
 pub struct BlockCtx {
@@ -113,10 +115,17 @@ pub struct BlockCtx {
     warp_size: usize,
     tx_bytes: usize,
     sanitizer: Option<HazardTracker>,
+    finite_guard: bool,
+    nonfinite: Option<String>,
 }
 
 impl BlockCtx {
-    fn new(device: &DeviceSpec, cfg: &KernelConfig, sanitize: SanitizeMode) -> Self {
+    fn new(
+        device: &DeviceSpec,
+        cfg: &KernelConfig,
+        sanitize: SanitizeMode,
+        finite_guard: bool,
+    ) -> Self {
         Self {
             smem: SharedMem::new(cfg.smem_bytes_per_block),
             counters: BlockCounters::default(),
@@ -124,6 +133,21 @@ impl BlockCtx {
             warp_size: device.warp_size,
             tx_bytes: device.gm_transaction_bytes,
             sanitizer: sanitize.is_on().then(HazardTracker::new),
+            finite_guard,
+            nonfinite: None,
+        }
+    }
+
+    /// Kernel-boundary NaN/Inf check on `values` (typically a block's output
+    /// buffer). No-op unless the GPU's health sink is enabled, so the guard
+    /// costs one branch in normal runs and never touches the timing model.
+    /// Only the first offense per block is kept.
+    pub fn guard_finite(&mut self, values: &[f64]) {
+        if !self.finite_guard || self.nonfinite.is_some() {
+            return;
+        }
+        if let Some((i, v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            self.nonfinite = Some(format!("element {i} is {v}"));
         }
     }
 
@@ -285,11 +309,12 @@ impl BlockCtx {
 
     /// Retires the block: returns its counters plus, when sanitizing, the
     /// hazard tracker's findings (any bytes still charged to the arena at
-    /// this point were leaked by the kernel body).
-    fn into_parts(self) -> (BlockCounters, Option<BlockSanitizeOutcome>) {
+    /// this point were leaked by the kernel body), plus any non-finite
+    /// value the health guard caught.
+    fn into_parts(self) -> BlockOutput {
         let leaked = self.smem.used_bytes();
         let outcome = self.sanitizer.map(|t| t.finish(leaked));
-        (self.counters, outcome)
+        (self.counters, outcome, self.nonfinite)
     }
 }
 
@@ -301,6 +326,7 @@ pub struct Gpu {
     trace: TraceSink,
     trace_pid: u32,
     metrics: MetricsSink,
+    health: HealthSink,
     sanitize: SanitizeMode,
     sanitizer: Mutex<SanitizerReport>,
     graph: Mutex<GraphState>,
@@ -336,6 +362,7 @@ impl Gpu {
             trace,
             trace_pid,
             metrics: wsvd_metrics::global(),
+            health: wsvd_health::global(),
             sanitize: SanitizeMode::resolved(),
             sanitizer: Mutex::new(SanitizerReport::default()),
             graph: Mutex::new(GraphState::default()),
@@ -384,6 +411,20 @@ impl Gpu {
     /// and experiments that must not pollute the global registry).
     pub fn set_metrics(&mut self, sink: MetricsSink) {
         self.metrics = sink;
+    }
+
+    /// The health sink this GPU records into (disabled by default). Layers
+    /// above (the W-cycle, experiments) key their own watchdog-only work off
+    /// `gpu.health().is_enabled()`.
+    pub fn health(&self) -> &HealthSink {
+        &self.health
+    }
+
+    /// Replaces the health sink, ignoring the process-wide default (tests
+    /// and fault-injection experiments that must not share the global
+    /// incident log).
+    pub fn set_health(&mut self, sink: HealthSink) {
+        self.health = sink;
     }
 
     /// The trace process id for this GPU's tracks (0 when tracing is off).
@@ -443,11 +484,12 @@ impl Gpu {
         );
         self.check_cfg(&cfg);
         let sanitize = cfg.sanitize.unwrap_or(self.sanitize);
+        let guard = self.health.is_enabled();
         let results: Vec<Result<BlockOutput, KernelError>> = items
             .par_iter_mut()
             .enumerate()
             .map(|(b, item)| {
-                let mut ctx = BlockCtx::new(&self.device, &cfg, sanitize);
+                let mut ctx = BlockCtx::new(&self.device, &cfg, sanitize, guard);
                 f(b, item, &mut ctx)?;
                 Ok(ctx.into_parts())
             })
@@ -468,10 +510,11 @@ impl Gpu {
     {
         self.check_cfg(&cfg);
         let sanitize = cfg.sanitize.unwrap_or(self.sanitize);
+        let guard = self.health.is_enabled();
         let results: Vec<Result<(R, BlockOutput), KernelError>> = (0..cfg.grid)
             .into_par_iter()
             .map(|b| {
-                let mut ctx = BlockCtx::new(&self.device, &cfg, sanitize);
+                let mut ctx = BlockCtx::new(&self.device, &cfg, sanitize, guard);
                 let r = f(b, &mut ctx)?;
                 Ok((r, ctx.into_parts()))
             })
@@ -512,10 +555,14 @@ impl Gpu {
     ) -> Result<LaunchStats, KernelError> {
         let mut blocks = Vec::with_capacity(results.len());
         let mut outcomes = Vec::with_capacity(results.len());
-        for r in results {
-            let (c, o) = r?;
+        let mut nonfinite = None;
+        for (b, r) in results.into_iter().enumerate() {
+            let (c, o, nf) = r?;
             blocks.push(c);
             outcomes.push(o);
+            if nonfinite.is_none() {
+                nonfinite = nf.map(|detail| (b, detail));
+            }
         }
         self.report_sanitize_outcomes(&cfg, outcomes);
         let d = &self.device;
@@ -594,6 +641,14 @@ impl Gpu {
         self.profiler.lock().record(cfg.label, &stats);
         if self.metrics.is_enabled() {
             self.record_metrics(cfg.label, &stats);
+        }
+        if self.health.is_enabled() {
+            let now = self.timeline.lock().seconds;
+            self.health
+                .kernel_launch(cfg.label, cfg.grid, stats.kernel_seconds, now);
+            if let Some((block, detail)) = nonfinite {
+                self.health.nonfinite(cfg.label, block, &detail, now);
+            }
         }
         Ok(stats)
     }
@@ -1295,6 +1350,61 @@ mod tests {
             stats.kernel_seconds.to_bits(),
             san_stats.kernel_seconds.to_bits()
         );
+    }
+
+    #[test]
+    fn finite_guard_fires_one_nonfinite_incident() {
+        let health = wsvd_health::HealthSink::enabled();
+        health.set_context("nan-test", 17);
+        let mut gpu = Gpu::new(V100);
+        gpu.set_health(health.clone());
+        let cfg = KernelConfig::new(4, 64, 1024, "poisoned");
+        let mut data: Vec<Vec<f64>> = (0..4).map(|_| vec![1.0; 8]).collect();
+        data[2][5] = f64::NAN; // plant one NaN in block 2
+        gpu.launch_over(cfg, &mut data, |_, item, ctx| {
+            ctx.par_step(8, 1);
+            ctx.guard_finite(item);
+            Ok(())
+        })
+        .unwrap();
+        let incidents = health.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].kind, "non-finite");
+        assert!(incidents[0].detail.contains("'poisoned', block 2"));
+        assert!(incidents[0].detail.contains("element 5"));
+        assert_eq!(incidents[0].seed, 17);
+        // The launch itself landed in the flight tail too.
+        assert!(health.tail().iter().any(|e| matches!(
+            &e.kind,
+            wsvd_health::FlightKind::KernelLaunch { label, .. } if label == "poisoned"
+        )));
+    }
+
+    #[test]
+    fn health_off_guard_is_inert_and_timing_identical() {
+        let run = |with_health: bool| {
+            let mut gpu = Gpu::new(V100);
+            if with_health {
+                gpu.set_health(wsvd_health::HealthSink::enabled());
+            }
+            let cfg = KernelConfig::new(8, 64, 1024, "guarded");
+            let mut data: Vec<Vec<f64>> = (0..8).map(|_| vec![1.0; 64]).collect();
+            gpu.launch_over(cfg, &mut data, |_, item, ctx| {
+                ctx.par_step(64, 2);
+                ctx.guard_finite(item);
+                Ok(())
+            })
+            .unwrap();
+            (gpu.elapsed_seconds(), gpu.timeline().totals)
+        };
+        let (t_off, c_off) = run(false);
+        let (t_on, c_on) = run(true);
+        assert_eq!(
+            t_off.to_bits(),
+            t_on.to_bits(),
+            "health must not perturb time"
+        );
+        assert_eq!(c_off, c_on);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Property tests for the flight recorder: wraparound keeps exactly the
+//! newest `capacity` events, and concurrent writers never lose, duplicate
+//! or tear an event.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wsvd_health::{FlightKind, FlightRecorder};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// After `n` sequential records into a ring of size `cap`, the tail is
+    /// exactly the last `min(n, cap)` sequence numbers, in order.
+    #[test]
+    fn wraparound_keeps_newest(cap in 1usize..32, n in 0usize..200) {
+        let r = FlightRecorder::new(cap);
+        for k in 0..n {
+            r.record(k as f64, FlightKind::ShardKilled { rank: k as u64 });
+        }
+        prop_assert_eq!(r.recorded(), n as u64);
+        let tail = r.tail();
+        prop_assert_eq!(tail.len(), n.min(cap));
+        let expect: Vec<u64> = (n.saturating_sub(cap)..n).map(|k| k as u64).collect();
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        prop_assert_eq!(seqs, expect);
+        // Payloads travel with their sequence numbers (no torn slots).
+        for e in &tail {
+            prop_assert_eq!(&e.kind, &FlightKind::ShardKilled { rank: e.seq });
+        }
+    }
+
+    /// Concurrent writers: every recorded event is counted, the surviving
+    /// tail is a consistent suffix of the global order (unique, sorted
+    /// seqs; each payload matches its seq), and capacity is respected.
+    #[test]
+    fn concurrent_writers_are_consistent(
+        cap in 1usize..24,
+        writers in 2usize..6,
+        per_writer in 1usize..40,
+    ) {
+        let r = Arc::new(FlightRecorder::new(cap));
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for k in 0..per_writer {
+                        r.record(
+                            k as f64,
+                            FlightKind::MetricDelta {
+                                key: format!("w{w}"),
+                                delta: k as f64,
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        let total = (writers * per_writer) as u64;
+        prop_assert_eq!(r.recorded(), total);
+        let tail = r.tail();
+        prop_assert_eq!(tail.len(), (total as usize).min(r.capacity()));
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&seqs, &sorted);
+        // Each ring slot holds at most one surviving event, so no two tail
+        // entries may share a slot residue.
+        let mut residues: Vec<u64> = seqs.iter().map(|s| s % r.capacity() as u64).collect();
+        residues.sort_unstable();
+        residues.dedup();
+        prop_assert_eq!(residues.len(), tail.len());
+        for e in &tail {
+            prop_assert!(e.seq < total);
+            match &e.kind {
+                FlightKind::MetricDelta { key, delta } => {
+                    prop_assert!(key.starts_with('w'));
+                    prop_assert!(delta.fract() == 0.0 && *delta >= 0.0);
+                }
+                other => prop_assert!(false, "unexpected event kind {other:?}"),
+            }
+        }
+    }
+}

@@ -366,9 +366,11 @@ impl Snapshot {
     }
 
     /// Prometheus text exposition of the whole snapshot: one metric family
-    /// per metric *name*, with `experiment`, `kernel` and `level` labels.
-    /// Histograms follow the cumulative `_bucket`/`_sum`/`_count`
-    /// convention.
+    /// per metric *name* (a `# HELP` line, a `# TYPE` line, then its
+    /// samples), with `experiment`, `kernel` and `level` labels. Histograms
+    /// follow the cumulative `_bucket`/`_sum`/`_count` convention. Label
+    /// values escape backslash, double quote and line feed per the text
+    /// exposition format.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -392,7 +394,7 @@ impl Snapshot {
                     continue;
                 };
                 families
-                    .entry(format!("{kind} wsvd_{fam}"))
+                    .entry(format!("{kind} {fam}"))
                     .or_default()
                     .push((lbl, fmt_prom(value)));
             }
@@ -401,7 +403,7 @@ impl Snapshot {
             let Some((fam, lbl)) = labels(key) else {
                 continue;
             };
-            let rows = families.entry(format!("histogram wsvd_{fam}")).or_default();
+            let rows = families.entry(format!("histogram {fam}")).or_default();
             let mut cumulative = 0u64;
             for (i, &c) in h.counts.iter().enumerate() {
                 cumulative += c;
@@ -416,6 +418,10 @@ impl Snapshot {
         }
         for (family, rows) in families {
             let (kind, name) = family.split_once(' ').expect("family has kind prefix");
+            let _ = writeln!(
+                out,
+                "# HELP {name} wsvd-metrics {kind} series recorded by the repro harness."
+            );
             let _ = writeln!(out, "# TYPE {name} {kind}");
             for (lbl, value) in rows {
                 // Histogram rows smuggle their series suffix after a '#'.
@@ -432,16 +438,25 @@ impl Snapshot {
     }
 }
 
-/// Sanitizes a metric-name component into a Prometheus metric name.
+/// Sanitizes a metric-name component into a full Prometheus metric name.
+/// Metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`: every illegal
+/// character maps to `_`, and the `wsvd_` prefix keeps the first character
+/// legal even when the component starts with a digit.
 fn prom_name(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    let mut out = String::from("wsvd_");
+    out.extend(
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+    );
+    out
 }
 
-/// Escapes a label value (backslash and double quote).
+/// Escapes a label value: the text exposition format requires `\\` for
+/// backslash, `\"` for double quote and `\n` for line feed.
 fn prom_escape(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Deterministic float formatting for Prometheus rows: integers print
@@ -589,6 +604,122 @@ mod tests {
         assert!(text.contains("le=\"+Inf\"} 1"), "{text}");
         assert!(text.contains("wsvd_occupancy_count"), "{text}");
         assert!(text.contains("# TYPE wsvd_peak_flops gauge"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_conforms_to_the_text_format() {
+        // Line-level audit against the Prometheus text exposition format:
+        // metric and label names match the identifier grammar, every family
+        // gets exactly one `# HELP` + `# TYPE` pair (HELP first), sample
+        // values parse as floats, and label values escape `\`, `"` and
+        // line feeds so no sample ever spans two lines.
+        fn valid_name(s: &str) -> bool {
+            let mut ch = s.chars();
+            matches!(ch.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+                && ch.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        fn valid_label_name(s: &str) -> bool {
+            let mut ch = s.chars();
+            matches!(ch.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+                && ch.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        // Parses `name="value",...`, rejecting bad escapes and raw quotes.
+        fn parse_labels(s: &str) -> Result<Vec<String>, String> {
+            let mut names = Vec::new();
+            let mut it = s.chars();
+            loop {
+                let mut name = String::new();
+                for c in it.by_ref() {
+                    if c == '=' {
+                        break;
+                    }
+                    name.push(c);
+                }
+                if it.next() != Some('"') {
+                    return Err(format!("label '{name}': missing open quote"));
+                }
+                loop {
+                    match it.next() {
+                        Some('\\') => match it.next() {
+                            Some('\\') | Some('"') | Some('n') => {}
+                            other => return Err(format!("bad escape \\{other:?}")),
+                        },
+                        Some('"') => break,
+                        Some(_) => {}
+                        None => return Err("unterminated label value".to_string()),
+                    }
+                }
+                names.push(name);
+                match it.next() {
+                    Some(',') => continue,
+                    None => return Ok(names),
+                    Some(c) => return Err(format!("unexpected '{c}' after label value")),
+                }
+            }
+        }
+
+        let s = MetricsSink::enabled();
+        // A hostile experiment name: quote, backslash and a line feed, all
+        // of which must be escaped in label values.
+        s.set_experiment("we\"ird\\exp\nline");
+        // A metric component with a leading digit: the emitted family name
+        // must still start with a legal character.
+        s.counter_add("gemm", Some(1), "2nd_pass_flops", 100.0);
+        s.gauge_set("gemm", None, "peak_flops", 7.0e12);
+        s.observe("gemm", None, "occupancy", &[0.5, 1.0], 0.75);
+        let text = s.snapshot().to_prometheus();
+
+        let mut helped: Vec<String> = Vec::new();
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(valid_name(name), "bad HELP name in: {line}");
+                assert!(!help.is_empty());
+                helped.push(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has kind");
+                assert!(valid_name(name), "bad TYPE name in: {line}");
+                assert!(["counter", "gauge", "histogram"].contains(&kind), "{line}");
+                assert_eq!(
+                    helped.last().map(String::as_str),
+                    Some(name),
+                    "HELP must immediately precede TYPE: {line}"
+                );
+                assert!(!typed.contains(&name.to_string()), "duplicate TYPE: {line}");
+                typed.push(name.to_string());
+            } else {
+                let (series, rest) = line.split_once('{').expect("sample has labels");
+                assert!(valid_name(series), "bad series name in: {line}");
+                let family = typed.last().expect("samples follow their TYPE");
+                assert!(
+                    series == *family
+                        || ["_bucket", "_sum", "_count"]
+                            .iter()
+                            .any(|sfx| series == format!("{family}{sfx}")),
+                    "sample '{series}' outside family '{family}'"
+                );
+                let (labels, value) = rest.rsplit_once("} ").expect("sample has value");
+                value.parse::<f64>().unwrap_or_else(|e| {
+                    panic!("unparseable sample value '{value}': {e}");
+                });
+                let names = parse_labels(labels).unwrap_or_else(|e| {
+                    panic!("bad label block '{labels}': {e}");
+                });
+                for n in &names {
+                    assert!(valid_label_name(n), "bad label name '{n}' in: {line}");
+                }
+            }
+        }
+        assert_eq!(helped, typed, "every family has exactly one HELP + TYPE");
+        assert!(
+            text.contains("\\n"),
+            "line feed in a label value must be escaped: {text}"
+        );
+        assert!(
+            text.contains("wsvd_2nd_pass_flops"),
+            "leading-digit component keeps the wsvd_ prefix: {text}"
+        );
     }
 
     #[test]
