@@ -1,0 +1,7 @@
+// Planted violation for the `no-float-eq` lint: exact float comparison in
+// (pretend) convergence logic. Not compiled — linted as a fixture with the
+// pretend path `crates/core/src/wcycle.rs`.
+
+pub fn converged(off_diag_norm: f64) -> bool {
+    off_diag_norm == 0.0
+}

@@ -1,0 +1,9 @@
+// Planted violation for the `no-hashmap` lint: hash-ordered storage in
+// (pretend) registry/exposition code. Not compiled — linted as a fixture
+// with the pretend path `crates/metrics/src/fixture.rs`.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    counters: HashMap<String, u64>,
+}

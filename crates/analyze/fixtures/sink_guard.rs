@@ -1,0 +1,14 @@
+// Planted violation for the `sink-guard` lint: a producer call in a
+// function that never consults `is_enabled()`. Not compiled — linted as a
+// fixture with the pretend path `crates/core/src/fixture.rs`.
+
+pub fn leaky_hot_path(trace: &TraceSink, pid: u64) {
+    // Builds the event arguments even when the sink is disabled.
+    trace.instant(pid, "fixture", "unguarded", 0.0, vec![("cost", 1.0.into())]);
+}
+
+pub fn properly_guarded(metrics: &MetricsSink) {
+    if metrics.is_enabled() {
+        metrics.counter_add("fixture", "ok", 1);
+    }
+}

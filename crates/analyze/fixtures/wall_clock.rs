@@ -1,0 +1,9 @@
+// Planted violation for the `no-wall-clock` lint: a host-time read inside
+// (pretend) simulated-time code. Not compiled — linted as a fixture with
+// the pretend path `crates/core/src/fixture.rs`.
+
+pub fn simulated_step_with_host_leak() -> f64 {
+    let started = std::time::Instant::now();
+    let _ = started;
+    0.0
+}

@@ -1,0 +1,223 @@
+//! Standalone static-analysis driver.
+//!
+//! ```text
+//! wsvd-analyze [lint [--root DIR]]       run the project-invariant lints
+//! wsvd-analyze certify [--out FILE]      build + summarize the certificate
+//!              [--max-blocks N]          store for every device model
+//! wsvd-analyze self-test                 planted-bug probes (lints must
+//!                                        fire on fixtures, bad plans must
+//!                                        be rejected, broken interleaving
+//!                                        models must violate)
+//! wsvd-analyze                           all of the above, workspace root
+//! ```
+//!
+//! Exit status is non-zero on any finding, rejection failure, or sweep
+//! false-rejection — CI runs this as the `Static analysis` step.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wsvd_analyze::interleave::{
+    self, cas_blind_store, cas_commit, cas_load, cas_no_lost_update, ring_newest_wins,
+    ring_publish_guarded, ring_publish_unguarded, ring_reserve, CasLocal, CasState, RingLocal,
+    RingState,
+};
+use wsvd_analyze::lint::{lint_source, lint_workspace};
+use wsvd_analyze::plan_space::{
+    certify_all_devices, planted_rejections, sweep_reachability, DEFAULT_MAX_BLOCKS,
+};
+use wsvd_gpu_sim::V100;
+
+fn workspace_root() -> PathBuf {
+    // crates/analyze -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/analyze")
+        .to_path_buf()
+}
+
+fn run_lint(root: &Path) -> Result<(), String> {
+    let findings = lint_workspace(root).map_err(|e| format!("lint walk failed: {e}"))?;
+    if findings.is_empty() {
+        println!("lint: workspace clean");
+        Ok(())
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        Err(format!("lint: {} finding(s)", findings.len()))
+    }
+}
+
+fn run_certify(out: Option<&Path>, max_blocks: usize) -> Result<(), String> {
+    let store = certify_all_devices(max_blocks).map_err(|e| format!("certification: {e}"))?;
+    let sweep = sweep_reachability(&store).map_err(|e| format!("false rejection: {e}"))?;
+    println!(
+        "certify: {} certificates across {} devices; atlas proves {} schedule(s) up to {} \
+         blocks ({} pairs)",
+        store.len(),
+        store.devices.len(),
+        store.atlas.proofs,
+        store.atlas.max_blocks,
+        store.atlas.pairs,
+    );
+    println!(
+        "certify: sweep accepted {} selections over {} workloads ({} distinct families)",
+        sweep.selections,
+        sweep.workloads,
+        sweep.selected_families.len(),
+    );
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&store).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("certify: store written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn run_self_test(root: &Path) -> Result<(), String> {
+    // 1. Planted plans must be statically rejected.
+    let (smem, sched) = planted_rejections(&V100);
+    println!("self-test: oversized-smem plan rejected ({smem})");
+    println!("self-test: conflicting-schedule plan rejected ({sched})");
+
+    // 2. Every lint must fire on its fixture.
+    let fixtures = [
+        ("sink-guard", "sink_guard.rs", "crates/core/src/fixture.rs"),
+        (
+            "no-wall-clock",
+            "wall_clock.rs",
+            "crates/core/src/fixture.rs",
+        ),
+        ("no-hashmap", "hashmap.rs", "crates/metrics/src/fixture.rs"),
+        ("no-float-eq", "float_eq.rs", "crates/core/src/wcycle.rs"),
+    ];
+    for (rule, file, pretend) in fixtures {
+        let path = root.join("crates/analyze/fixtures").join(file);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let findings = lint_source(pretend, &src);
+        if findings.iter().any(|f| f.rule == rule) {
+            println!("self-test: lint '{rule}' fires on {file}");
+        } else {
+            return Err(format!(
+                "self-test: lint '{rule}' did NOT fire on its fixture {file}"
+            ));
+        }
+    }
+
+    // 3. The interleaving checker must reject the broken protocol variants.
+    let guarded: &[interleave::Op<RingState, RingLocal>] = &[ring_reserve, ring_publish_guarded];
+    let blind: &[interleave::Op<RingState, RingLocal>] = &[ring_reserve, ring_publish_unguarded];
+    let locals = [RingLocal::default(), RingLocal::default()];
+    if !interleave::explore(
+        &RingState::default(),
+        &locals,
+        [guarded, guarded],
+        &ring_newest_wins,
+    )
+    .holds()
+    {
+        return Err("self-test: guarded ring publish violated newest-wins".into());
+    }
+    if interleave::explore(
+        &RingState::default(),
+        &locals,
+        [blind, blind],
+        &ring_newest_wins,
+    )
+    .holds()
+    {
+        return Err("self-test: blind ring publish went unnoticed (vacuous checker)".into());
+    }
+    let cas: &[interleave::Op<CasState, CasLocal>] = &[cas_load, cas_commit];
+    let racy: &[interleave::Op<CasState, CasLocal>] = &[cas_load, cas_blind_store];
+    let deltas = [
+        CasLocal {
+            observed: 0,
+            delta: 3,
+        },
+        CasLocal {
+            observed: 0,
+            delta: 5,
+        },
+    ];
+    if !interleave::explore(
+        &CasState::default(),
+        &deltas,
+        [cas, cas],
+        &cas_no_lost_update,
+    )
+    .holds()
+    {
+        return Err("self-test: CAS loop lost an update".into());
+    }
+    if interleave::explore(
+        &CasState::default(),
+        &deltas,
+        [racy, racy],
+        &cas_no_lost_update,
+    )
+    .holds()
+    {
+        return Err("self-test: load-add-store race went unnoticed (vacuous checker)".into());
+    }
+    println!("self-test: interleaving checker sound on both protocols, catches both planted bugs");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = workspace_root();
+    let mut out: Option<PathBuf> = None;
+    let mut max_blocks = DEFAULT_MAX_BLOCKS;
+    let mut cmd: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--max-blocks" if i + 1 < args.len() => {
+                max_blocks = match args[i + 1].parse() {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("wsvd-analyze: bad --max-blocks: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 2;
+            }
+            c if cmd.is_none() && !c.starts_with('-') => {
+                cmd = Some(c.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("wsvd-analyze: unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let result = match cmd.as_deref() {
+        Some("lint") => run_lint(&root),
+        Some("certify") => run_certify(out.as_deref(), max_blocks),
+        Some("self-test") => run_self_test(&root),
+        None => run_lint(&root)
+            .and_then(|()| run_certify(out.as_deref(), max_blocks))
+            .and_then(|()| run_self_test(&root)),
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wsvd-analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Exhaustive two-thread interleaving exploration.
+//!
+//! The workspace has two lock-free protocols whose correctness arguments
+//! live in comments: the flight-recorder ring's reserve-then-publish
+//! protocol (`wsvd_health::FlightRecorder::record` — "never overwrite newer
+//! with older") and the cluster model's CAS accumulation loop
+//! (`wsvd_gpu_sim::cluster` — "a plain load-add-store here loses updates").
+//! `loom` is not vendorable, so this module implements the small fragment
+//! needed to *prove* those comments: each protocol is modelled as two
+//! threads of atomic steps over a shared state, and a depth-first search
+//! enumerates **every** interleaving, checking an invariant at each
+//! terminal state.
+//!
+//! A step is a plain function `fn(&mut S, &mut L) -> Step`; `Step::Goto`
+//! expresses CAS-retry back-edges. Exploration clones the state at each
+//! branch point, so models stay small (the real ones here have ≤ 4 steps
+//! per thread and < 100 distinct executions).
+//!
+//! The checker itself is validated by *planted-bug* models: the same
+//! protocols with the guard removed (unconditional publish; non-atomic
+//! load-add-store) must exhibit a violating interleaving. A checker that
+//! passes those models would be vacuous, and the tests fail.
+
+/// Outcome of executing one atomic step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Fall through to the next op in the thread's program.
+    Next,
+    /// Jump to op `0`-based index — the CAS-retry back-edge.
+    Goto(usize),
+    /// Terminate this thread early.
+    Done,
+}
+
+/// One atomic step: observes/mutates the shared state `S` and this
+/// thread's local state `L` indivisibly.
+pub type Op<S, L> = fn(&mut S, &mut L) -> Step;
+
+/// Result of exploring every interleaving of a two-thread model.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Number of distinct complete executions visited.
+    pub executions: usize,
+    /// Invariant violations, one message per failing execution, each
+    /// prefixed with the schedule (`"ABBA: ..."`) that produced it.
+    pub violations: Vec<String>,
+}
+
+impl Exploration {
+    /// True when every interleaving satisfied the invariant.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Per-execution step budget: a `Goto` loop that cannot be broken by the
+/// other thread's progress would otherwise run the DFS forever. Real CAS
+/// loops here retry at most once per competing thread, so 16 is generous;
+/// exceeding it is reported as a violation (a livelock is a bug too). The
+/// budget also bounds the whole search at `2^16` paths in the worst case —
+/// combined with [`MAX_VIOLATIONS`] pruning, a livelocking model terminates
+/// promptly instead of enumerating every doomed schedule.
+const STEP_BUDGET: usize = 16;
+
+/// Exploration stops growing the violation list past this point: the model
+/// is already proven broken, and a pathological model (e.g. a pure spin
+/// loop) would otherwise produce exponentially many failing schedules.
+const MAX_VIOLATIONS: usize = 64;
+
+/// A terminal-state invariant: checked once per complete interleaving.
+pub type Invariant<S, L> = dyn Fn(&S, &[L; 2]) -> Result<(), String>;
+
+/// Runs every interleaving of the two thread programs from `shared` /
+/// `locals`, checking `invariant` at each terminal state. The search is
+/// exhaustive: every total order of the threads' atomic steps (including
+/// retry re-executions) is visited exactly once.
+pub fn explore<S: Clone, L: Clone>(
+    shared: &S,
+    locals: &[L; 2],
+    programs: [&[Op<S, L>]; 2],
+    invariant: &Invariant<S, L>,
+) -> Exploration {
+    let mut out = Exploration {
+        executions: 0,
+        violations: Vec::new(),
+    };
+    let mut schedule = String::new();
+    dfs(
+        shared,
+        locals,
+        programs,
+        [0, 0],
+        0,
+        &mut schedule,
+        invariant,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<S: Clone, L: Clone>(
+    shared: &S,
+    locals: &[L; 2],
+    programs: [&[Op<S, L>]; 2],
+    pc: [usize; 2],
+    steps: usize,
+    schedule: &mut String,
+    invariant: &Invariant<S, L>,
+    out: &mut Exploration,
+) {
+    if out.violations.len() >= MAX_VIOLATIONS {
+        return;
+    }
+    let runnable: Vec<usize> = (0..2).filter(|&t| pc[t] < programs[t].len()).collect();
+    if runnable.is_empty() {
+        out.executions += 1;
+        if let Err(msg) = invariant(shared, locals) {
+            out.violations.push(format!("{schedule}: {msg}"));
+        }
+        return;
+    }
+    if steps >= STEP_BUDGET {
+        out.violations
+            .push(format!("{schedule}: step budget exhausted (livelock?)"));
+        return;
+    }
+    for t in runnable {
+        let mut s = shared.clone();
+        let mut l = locals.clone();
+        let step = (programs[t][pc[t]])(&mut s, &mut l[t]);
+        let mut next_pc = pc;
+        next_pc[t] = match step {
+            Step::Next => pc[t] + 1,
+            Step::Goto(i) => i,
+            Step::Done => programs[t].len(),
+        };
+        schedule.push(if t == 0 { 'A' } else { 'B' });
+        dfs(
+            &s,
+            &l,
+            programs,
+            next_pc,
+            steps + 1,
+            schedule,
+            invariant,
+            out,
+        );
+        schedule.pop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model: flight-recorder ring publish protocol.
+// ---------------------------------------------------------------------------
+
+/// Shared state of the ring model: the reservation cursor and one slot
+/// (capacity 1 forces both writers onto the same slot — the only case
+/// where the publish guard matters).
+#[derive(Clone, Debug, Default)]
+pub struct RingState {
+    /// The `fetch_add` cursor.
+    pub cursor: u64,
+    /// The single slot's published sequence number.
+    pub slot: Option<u64>,
+}
+
+/// Writer-local state: the reserved sequence number.
+#[derive(Clone, Debug, Default)]
+pub struct RingLocal {
+    /// Sequence reserved by this writer's `fetch_add`.
+    pub seq: Option<u64>,
+}
+
+/// Step 1 of `FlightRecorder::record`: `cursor.fetch_add(1)` — atomic.
+pub fn ring_reserve(s: &mut RingState, l: &mut RingLocal) -> Step {
+    l.seq = Some(s.cursor);
+    s.cursor += 1;
+    Step::Next
+}
+
+/// Step 2 of `FlightRecorder::record`: publish under the slot lock with the
+/// newest-wins guard `old.seq <= seq`.
+pub fn ring_publish_guarded(s: &mut RingState, l: &mut RingLocal) -> Step {
+    let seq = l.seq.expect("reserve ran first");
+    if s.slot.is_none_or(|old| old <= seq) {
+        s.slot = Some(seq);
+    }
+    Step::Next
+}
+
+/// The planted bug: publish without the guard (blind overwrite). Some
+/// interleaving must then leave a lapped writer's *older* event in the slot.
+pub fn ring_publish_unguarded(s: &mut RingState, l: &mut RingLocal) -> Step {
+    s.slot = Some(l.seq.expect("reserve ran first"));
+    Step::Next
+}
+
+/// Invariant of the ring model: once both writers finish, the slot holds
+/// the newest sequence that mapped to it.
+pub fn ring_newest_wins(s: &RingState, _l: &[RingLocal; 2]) -> Result<(), String> {
+    if s.slot == Some(1) {
+        Ok(())
+    } else {
+        Err(format!("slot holds {:?}, expected Some(1)", s.slot))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model: cluster sync CAS accumulation.
+// ---------------------------------------------------------------------------
+
+/// Shared accumulator of the cluster model (`sync_seconds` as integer
+/// "seconds" so the invariant is exact).
+#[derive(Clone, Debug, Default)]
+pub struct CasState {
+    /// The accumulated value.
+    pub total: u64,
+}
+
+/// Shard-local state: the observed snapshot for the pending CAS.
+#[derive(Clone, Debug, Default)]
+pub struct CasLocal {
+    /// Value read by the last `load`.
+    pub observed: u64,
+    /// This shard's contribution.
+    pub delta: u64,
+}
+
+/// Load half of the `fetch_update` loop: observe the current total.
+pub fn cas_load(s: &mut CasState, l: &mut CasLocal) -> Step {
+    l.observed = s.total;
+    Step::Next
+}
+
+/// Compare-and-swap: commit `observed + delta` iff nothing changed since
+/// the load, else retry from the load (the `fetch_update` back-edge).
+pub fn cas_commit(s: &mut CasState, l: &mut CasLocal) -> Step {
+    if s.total == l.observed {
+        s.total = l.observed + l.delta;
+        Step::Next
+    } else {
+        Step::Goto(0)
+    }
+}
+
+/// The planted bug: blind store (`load-add-store` without the compare).
+pub fn cas_blind_store(s: &mut CasState, l: &mut CasLocal) -> Step {
+    s.total = l.observed + l.delta;
+    Step::Next
+}
+
+/// Invariant of the accumulation model: no update is lost.
+pub fn cas_no_lost_update(s: &CasState, l: &[CasLocal; 2]) -> Result<(), String> {
+    let want = l[0].delta + l[1].delta;
+    if s.total == want {
+        Ok(())
+    } else {
+        Err(format!("total {} != sum of deltas {want}", s.total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_publish_protocol_is_newest_wins_under_all_interleavings() {
+        let prog: &[Op<RingState, RingLocal>] = &[ring_reserve, ring_publish_guarded];
+        let r = explore(
+            &RingState::default(),
+            &[RingLocal::default(), RingLocal::default()],
+            [prog, prog],
+            &ring_newest_wins,
+        );
+        // 4 steps, 2 threads: C(4,2) = 6 interleavings, all clean.
+        assert_eq!(r.executions, 6);
+        assert!(r.holds(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unguarded_publish_exhibits_the_lapped_overwrite() {
+        let prog: &[Op<RingState, RingLocal>] = &[ring_reserve, ring_publish_unguarded];
+        let r = explore(
+            &RingState::default(),
+            &[RingLocal::default(), RingLocal::default()],
+            [prog, prog],
+            &ring_newest_wins,
+        );
+        assert_eq!(r.executions, 6);
+        assert!(
+            !r.holds(),
+            "checker is vacuous: blind overwrite went unnoticed"
+        );
+        // The violating schedule is the lap: B reserves+publishes seq 1,
+        // then parked writer A publishes its older seq 0 last.
+        assert!(
+            r.violations.iter().any(|v| v.contains("Some(0)")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn cas_loop_never_loses_an_update() {
+        let prog: &[Op<CasState, CasLocal>] = &[cas_load, cas_commit];
+        let locals = [
+            CasLocal {
+                observed: 0,
+                delta: 3,
+            },
+            CasLocal {
+                observed: 0,
+                delta: 5,
+            },
+        ];
+        let r = explore(
+            &CasState::default(),
+            &locals,
+            [prog, prog],
+            &cas_no_lost_update,
+        );
+        assert!(r.holds(), "{:?}", r.violations);
+        // Retries add executions beyond the interleaving count of the
+        // straight-line programs.
+        assert!(r.executions >= 6, "{r:?}");
+    }
+
+    #[test]
+    fn blind_store_loses_an_update_somewhere() {
+        let prog: &[Op<CasState, CasLocal>] = &[cas_load, cas_blind_store];
+        let locals = [
+            CasLocal {
+                observed: 0,
+                delta: 3,
+            },
+            CasLocal {
+                observed: 0,
+                delta: 5,
+            },
+        ];
+        let r = explore(
+            &CasState::default(),
+            &locals,
+            [prog, prog],
+            &cas_no_lost_update,
+        );
+        assert_eq!(r.executions, 6);
+        assert!(!r.holds(), "checker is vacuous: lost update went unnoticed");
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("total 3") || v.contains("total 5")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn livelock_is_reported_not_hung() {
+        fn spin(_s: &mut CasState, _l: &mut CasLocal) -> Step {
+            Step::Goto(0)
+        }
+        let prog: &[Op<CasState, CasLocal>] = &[spin];
+        let r = explore(
+            &CasState::default(),
+            &[CasLocal::default(), CasLocal::default()],
+            [prog, prog],
+            &cas_no_lost_update,
+        );
+        assert!(!r.holds());
+        assert!(
+            r.violations.iter().any(|v| v.contains("livelock")),
+            "{:?}",
+            r.violations
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! A comment- and string-aware Rust source scanner.
+//!
+//! The lint pass needs to see *code* tokens only: a `HashMap` inside a doc
+//! comment or a `"no float == here"` string must not fire a lint. The
+//! vendored dependency set has no `syn`, so this module implements the small
+//! lexical subset the lints need by hand: it blanks out comments (line,
+//! nested block, doc), string literals (plain, raw, byte), and char
+//! literals, replacing every masked byte with a space so line numbers and
+//! column positions survive intact.
+
+/// Returns `src` with comments, strings and char literals replaced by
+/// spaces (newlines preserved). Lints run their token patterns over the
+/// result; pragma scanning runs over the raw source.
+pub fn mask_non_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment (incl. /// and //!): mask to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nesting per the Rust grammar.
+                let mut depth = 1usize;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // Raw (byte) string: r"...", r#"..."#, br##"..."##.
+                let mut j = i;
+                if b[j] == b'b' {
+                    out.push(b' ');
+                    j += 1;
+                }
+                out.push(b' '); // the 'r'
+                j += 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    out.push(b' ');
+                    j += 1;
+                }
+                out.push(b' '); // opening quote
+                j += 1;
+                'raw: while j < b.len() {
+                    if b[j] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                            j += hashes + 1;
+                            break 'raw;
+                        }
+                    }
+                    out.push(if b[j] == b'\n' { b'\n' } else { b' ' });
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' | b'b' if b[i] == b'"' || (i + 1 < b.len() && b[i + 1] == b'"') => {
+                // Plain or byte string with escapes.
+                if b[i] == b'b' {
+                    out.push(b' ');
+                    i += 1;
+                }
+                out.push(b' '); // opening quote
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' if i + 1 < b.len() => {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: 'x' / '\n' are literals; 'ident
+                // (no closing quote right after one symbol) is a lifetime.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    out.push(b' ');
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    // Lifetime: keep the tick (harmless) and move on.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("masking only substitutes ASCII spaces")
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= b.len() || b[j] != b'r' {
+            return false;
+        }
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Byte spans (inclusive start line, exclusive end line, 1-based) of
+/// `#[cfg(test)]`-gated regions: from the attribute to the closing brace of
+/// the item it gates. Lints skip findings inside them — test code may
+/// legitimately compare floats exactly or build events unguarded.
+pub fn test_region_lines(masked: &str, raw: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    for (idx, line) in raw_lines.iter().enumerate() {
+        if !line.trim_start().starts_with("#[cfg(test)]") {
+            continue;
+        }
+        // Find the gated item's opening brace, then match depth to close.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end = raw_lines.len();
+        for (j, m) in masked_lines.iter().enumerate().skip(idx) {
+            for c in m.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                end = j + 1;
+                break;
+            }
+        }
+        regions.push((idx + 1, end + 1));
+    }
+    regions
+}
+
+/// The 1-based line spans of every `fn` item in the masked source, innermost
+/// usable via [`enclosing_fn`]. Each entry is `(header_line, end_line)`.
+pub fn fn_spans(masked: &str) -> Vec<(usize, usize)> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut spans = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(pos) = find_fn_keyword(line) else {
+            continue;
+        };
+        // Walk from the keyword to the body's opening brace, then match.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end = lines.len();
+        let mut col = pos;
+        'outer: for (j, l) in lines.iter().enumerate().skip(idx) {
+            let chars: Vec<char> = l.chars().collect();
+            while col < chars.len() {
+                match chars[col] {
+                    ';' if !opened => {
+                        // Trait method declaration without a body.
+                        end = j + 1;
+                        break 'outer;
+                    }
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = j + 1;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+                col += 1;
+            }
+            col = 0;
+        }
+        spans.push((idx + 1, end));
+    }
+    spans
+}
+
+/// The innermost `fn` span containing `line` (1-based), if any.
+pub fn enclosing_fn(spans: &[(usize, usize)], line: usize) -> Option<(usize, usize)> {
+    spans
+        .iter()
+        .filter(|&&(s, e)| s <= line && line <= e)
+        .max_by_key(|&&(s, _)| s)
+        .copied()
+}
+
+fn find_fn_keyword(line: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut i = 0;
+    while let Some(off) = line[i..].find("fn") {
+        let at = i + off;
+        let before_ok = at == 0 || !b[at - 1].is_ascii_alphanumeric() && b[at - 1] != b'_';
+        let after = at + 2;
+        let after_ok = after >= b.len() || (!b[after].is_ascii_alphanumeric() && b[after] != b'_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        i = at + 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let a = \"HashMap\"; // HashMap\nlet b = 1; /* == 0.0 */";
+        let m = mask_non_code(src);
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("=="));
+        assert!(m.contains("let a ="));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_nested_block_comments_and_raw_strings() {
+        let src = "/* outer /* inner == */ still */ let x = r#\"std::time\"#;";
+        let m = mask_non_code(src);
+        assert!(!m.contains("=="));
+        assert!(!m.contains("std::time"));
+        assert!(m.contains("let x ="));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '='; let d = '\\n'; }";
+        let m = mask_non_code(src);
+        assert!(!m.contains("'='"));
+        assert!(m.contains("fn f"));
+    }
+
+    #[test]
+    fn fn_spans_and_enclosing() {
+        let src = "fn a() {\n  body();\n}\nfn b() { x(); }\n";
+        let m = mask_non_code(src);
+        let spans = fn_spans(&m);
+        assert_eq!(spans, vec![(1, 3), (4, 4)]);
+        assert_eq!(enclosing_fn(&spans, 2), Some((1, 3)));
+        assert_eq!(enclosing_fn(&spans, 4), Some((4, 4)));
+    }
+
+    #[test]
+    fn test_regions_cover_gated_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { let x = 0.0 == y; }\n}\n";
+        let m = mask_non_code(src);
+        let regions = test_region_lines(&m, src);
+        assert_eq!(regions.len(), 1);
+        let (s, e) = regions[0];
+        assert!(s <= 4 && 4 < e, "line 4 must be inside {regions:?}");
+    }
+}

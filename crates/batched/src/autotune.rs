@@ -7,7 +7,7 @@
 //! calibrated once per device by sweeping all plans over a huge batched
 //! GEMM and finding the inflection point where more TLP stops helping.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -140,7 +140,7 @@ fn select_plan(
 /// sizes, and `m*` is their maximum — both permutation-invariant). The
 /// threshold bits stand in for the device: the platform enters the engine
 /// only through its calibrated TLP threshold.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct PlanKey {
     sizes: Vec<(usize, usize)>,
     w_cap: usize,
@@ -168,7 +168,10 @@ impl PlanKey {
 /// warm.
 #[derive(Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, TailorPlan>>,
+    // BTreeMap, not HashMap: registry iteration order (telemetry, future
+    // exposition) must be deterministic — enforced by the wsvd-analyze
+    // `no-hashmap` lint.
+    plans: Mutex<BTreeMap<PlanKey, TailorPlan>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -14,7 +14,10 @@
 //!   rows exceed `1.2 δ_h`; Gram partials from the segments of one GEMM are
 //!   then reduced in a second kernel (Fig. 6).
 
-use wsvd_gpu_sim::{Gpu, KernelConfig, KernelError, LaunchStats, SmemRequirement};
+use wsvd_gpu_sim::{
+    BarrierDiscipline, Gpu, KernelConfig, KernelError, KernelResource, LaunchStats, ScheduleFamily,
+    SmemRequirement,
+};
 use wsvd_linalg::gemm::{gram, matmul};
 use wsvd_linalg::Matrix;
 
@@ -33,6 +36,19 @@ pub fn gemm_smem_requirement() -> SmemRequirement {
     SmemRequirement {
         label: "batched GEMM tile buffers".to_string(),
         bytes: GEMM_SMEM_BYTES,
+    }
+}
+
+/// Resource-IR descriptor for the batched Gram/update GEMM kernels: the
+/// fixed 16 KiB double-buffered tile arena, uniform block-wide barriers
+/// between tile phases, and no pair schedule (pure data parallelism).
+pub fn gemm_kernel_resource(threads: usize) -> KernelResource {
+    KernelResource {
+        kernel: "batched-gemm".to_string(),
+        smem: gemm_smem_requirement(),
+        threads_per_block: threads,
+        barriers: BarrierDiscipline::Uniform,
+        schedule: ScheduleFamily::None,
     }
 }
 

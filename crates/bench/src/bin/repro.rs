@@ -7,6 +7,7 @@
 //!   repro --all [--scale reduced|full] [--json DIR] [--trace FILE]
 //!   repro --check DIR [<id> ...]     # regression-compare against stored JSON
 //!   repro --sanitize [<id> ...]      # run under the wsvd-sanitizer (default: fig7)
+//!   repro --certify [<id> ...]       # require ahead-of-time plan certificates
 //!   repro --fused [<id> ...]         # run with the fused launch pipeline on
 //!   repro --report [<id> ...]        # per-kernel profiler report (wsvd-metrics)
 //!   repro --bench-out FILE [...]     # write a perf snapshot for wsvd-bench-diff
@@ -24,6 +25,13 @@
 //! memory races, barrier divergence, leaked buffers) and static schedule /
 //! shared-memory verification for every simulated launch, then exits
 //! non-zero if any violation was reported. Equivalent to `WSVD_SANITIZE=1`.
+//!
+//! `--certify` builds wsvd-analyze's ahead-of-time certificate store (every
+//! auto-tuner-reachable and pinned plan family proven safe on every device
+//! model) and requires it: a W-cycle level whose selected plan has no
+//! certificate is a hard error before any kernel launches, and certified
+//! levels skip the sanitizer's per-launch static re-verification. Simulated
+//! time and numerics are bit-identical with certification on or off.
 //!
 //! `--report` turns on the wsvd-metrics registry (a strict no-op otherwise:
 //! simulated time and numerics are bit-identical with metrics off) and, after
@@ -66,6 +74,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
     let mut sanitize = false;
+    let mut certify = false;
     let mut fused = false;
     let mut report = false;
     let mut bench_out: Option<String> = None;
@@ -93,6 +102,7 @@ fn main() {
             "--check" => check_dir = Some(it.next().expect("--check needs a directory")),
             "--trace" => trace_path = Some(it.next().expect("--trace needs a file")),
             "--sanitize" => sanitize = true,
+            "--certify" => certify = true,
             "--fused" => fused = true,
             "--report" => report = true,
             "--bench-out" => bench_out = Some(it.next().expect("--bench-out needs a file")),
@@ -113,6 +123,26 @@ fn main() {
         if ids.is_empty() && !run_all && check_dir.is_none() {
             ids.push("fig7".to_string());
         }
+    }
+    // Certification must also be armed before the first `Gpu`: the W-cycle
+    // driver consults the mode at plan-selection time, every level.
+    if certify {
+        let store = wsvd_analyze::plan_space::certify_all_devices(
+            wsvd_analyze::plan_space::DEFAULT_MAX_BLOCKS,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("wsvd-analyze: plan-space certification failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wsvd-analyze: {} plan certificates installed ({} devices, schedules proven to \
+             {} blocks); certification required for every selected plan",
+            store.len(),
+            store.devices.len(),
+            store.atlas.max_blocks
+        );
+        wsvd_core::certify::install_store(std::sync::Arc::new(store));
+        wsvd_core::certify::set_mode(wsvd_core::certify::CertifyMode::Require);
     }
     // The sink must be installed before any experiment constructs a `Gpu`,
     // which picks the global sink up at construction time.
@@ -252,8 +282,9 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro --all | <id>... [--scale reduced|full] [--json DIR] [--fused] \
-             [--report] [--bench-out FILE] [--prom FILE] [--health] [--health-dump FILE]"
+            "usage: repro --all | <id>... [--scale reduced|full] [--json DIR] [--certify] \
+             [--fused] [--report] [--bench-out FILE] [--prom FILE] [--health] \
+             [--health-dump FILE]"
         );
         eprintln!("known ids:");
         for (id, _) in &experiments {

@@ -15,6 +15,10 @@
 //!   case runs with a metered GPU and the report is the per-kernel
 //!   profiler view (time share, occupancy, AI, roofline ceiling
 //!   attribution per Eqs. 8–10, GM-transaction efficiency).
+//! * `ext-certify` — wsvd-analyze's ahead-of-time plan-space certification:
+//!   every auto-tuner-reachable and pinned plan family proven safe on every
+//!   device model, the reachability sweep showing zero false rejections,
+//!   and the two planted bad plans statically rejected.
 
 use wsvd_core::{wcycle_svd, AlphaSelect, Tuning, WCycleConfig};
 use wsvd_gpu_sim::{Gpu, V100};
@@ -537,9 +541,100 @@ pub fn ext_fused(scale: Scale) -> Report {
     rep
 }
 
+/// `ext-certify` — the wsvd-analyze certification pipeline as a repro
+/// artifact. Static analysis is scale-independent: both scales emit the
+/// same deterministic counts (no timings, no randomness).
+pub fn ext_certify(scale: Scale) -> Report {
+    use wsvd_analyze::plan_space::{
+        certify_all_devices, planted_rejections, sweep_reachability, DEFAULT_MAX_BLOCKS,
+    };
+    use wsvd_core::certify::PlanOrigin;
+
+    let mut rep = Report::new(
+        "ext-certify",
+        "Ahead-of-time plan-space certification (extension)",
+        &scale.note(
+            "wsvd-analyze: certificates over the full reachable plan space; \
+             scale-independent (static analysis, no simulated work)",
+        ),
+        &["subject", "detail", "verdict"],
+        "every reachable plan family certified on every device; both planted bad \
+         plans statically rejected",
+    );
+
+    let store = certify_all_devices(DEFAULT_MAX_BLOCKS).expect("plan space certifies");
+    rep.push_row(vec![
+        "schedule atlas".to_string(),
+        format!(
+            "{} orderings x blocks 2..={} ({} proofs, {} pairs)",
+            store.atlas.orderings.len(),
+            store.atlas.max_blocks,
+            store.atlas.proofs,
+            store.atlas.pairs
+        ),
+        "proved".to_string(),
+    ]);
+    for dev in store.devices.values() {
+        let autotuned = dev
+            .families
+            .values()
+            .filter(|c| matches!(c.origin, PlanOrigin::Autotuned))
+            .count();
+        let terminal = dev.families.values().filter(|c| c.terminal).count();
+        rep.push_row(vec![
+            dev.device.clone(),
+            format!(
+                "{} families ({} autotuned), {} terminal, {} B arena",
+                dev.families.len(),
+                autotuned,
+                terminal,
+                dev.smem_per_block_bytes
+            ),
+            "certified".to_string(),
+        ]);
+    }
+    let sweep = sweep_reachability(&store).expect("no false rejections");
+    rep.push_row(vec![
+        "reachability sweep".to_string(),
+        format!(
+            "{} selections over {} workloads, {} distinct families",
+            sweep.selections,
+            sweep.workloads,
+            sweep.selected_families.len()
+        ),
+        "zero false rejections".to_string(),
+    ]);
+    let (smem_msg, sched_msg) = planted_rejections(&V100);
+    rep.push_row(vec![
+        "planted: oversized smem".to_string(),
+        smem_msg,
+        "rejected".to_string(),
+    ]);
+    rep.push_row(vec![
+        "planted: conflicting schedule".to_string(),
+        sched_msg,
+        "rejected".to_string(),
+    ]);
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn certify_report_is_scale_independent_and_rejects_planted() {
+        let a = ext_certify(Scale::Reduced);
+        let b = ext_certify(Scale::Full);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(
+            a.rows.iter().filter(|r| r[2] == "rejected").count(),
+            2,
+            "{:?}",
+            a.rows
+        );
+        assert!(a.rows.iter().any(|r| r[2] == "zero false rejections"));
+    }
 
     #[test]
     fn ablation_full_variant_is_fastest_or_close() {

@@ -57,6 +57,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-sanitize", exp_extensions::ext_sanitize),
         ("ext-fused", exp_extensions::ext_fused),
         ("ext-metrics", exp_extensions::ext_metrics),
+        ("ext-certify", exp_extensions::ext_certify),
         ("ext-health", exp_health::ext_health),
     ]
 }

@@ -26,11 +26,18 @@
 
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod config;
 pub mod stats;
 pub mod verify;
 pub mod wcycle;
 
+pub use certify::{
+    build_schedule_atlas, certify_claim, check_level, check_level_with, install_store,
+    mode as certify_mode, set_mode as set_certify_mode, CertificateStore, CertifiedLevel,
+    CertifyError, CertifyMode, DeviceCertificates, FamilyKey, PlanCertificate, PlanClaim,
+    PlanOrigin, ScheduleAtlas,
+};
 pub use config::{fused_default, set_fused_default, AlphaSelect, Tuning, WCycleConfig};
 pub use stats::WCycleStats;
 pub use verify::{effective_width, verify_level, LevelCheck};

@@ -28,6 +28,7 @@ use wsvd_linalg::gemm::{dot, matmul};
 use wsvd_linalg::verify::{columns_converged, max_column_coherence, orthonormality_error};
 use wsvd_linalg::Matrix;
 
+use crate::certify::CertifyMode;
 use crate::config::{AlphaSelect, Tuning, WCycleConfig};
 use crate::stats::WCycleStats;
 use crate::verify::{effective_width, verify_level};
@@ -300,6 +301,7 @@ pub fn wcycle_svd(
 /// Mirrors [`trace_level0_sweeps`] into the health watchdogs: one
 /// [`sweep_sample`](wsvd_health::HealthSink::sweep_sample) per Level-0 sweep
 /// from the SM kernels' recorded coherence histories.
+// wsvd-lint: allow(sink-guard) — caller gates on `watched = health.is_enabled()`.
 fn health_level0_sweeps(
     health: &wsvd_health::HealthSink,
     svds: &[JacobiSvd],
@@ -329,6 +331,7 @@ fn health_level0_sweeps(
 /// converging runs (`tol > 0`): a truncated run is unconverged by design
 /// and its factors make no orthogonality promise. Host-side and
 /// health-gated: never charged to the cost model.
+// wsvd-lint: allow(sink-guard) — caller gates on `watched = health.is_enabled()`.
 fn health_batch_checks(
     health: &wsvd_health::HealthSink,
     t_sim: f64,
@@ -364,6 +367,7 @@ fn health_batch_checks(
 /// Emits the Level-0 α-warp selection (§IV-B1) as an auto-tuner plan event:
 /// the rule's rejected team widths from [`wsvd_batched::TPP_CANDIDATES`] go
 /// into the event args alongside the chosen one.
+// wsvd-lint: allow(sink-guard) — caller gates on `traced = trace.is_enabled()`.
 fn trace_alpha_plan(
     gpu: &Gpu,
     trace: &wsvd_trace::TraceSink,
@@ -399,6 +403,7 @@ fn trace_alpha_plan(
 /// from the kernels' recorded coherence histories. The launch spans
 /// `[t_pre, t_post]` in simulated time; sweep `s` of `S` is placed at the
 /// matching fraction of that interval.
+// wsvd-lint: allow(sink-guard) — caller gates on `traced = trace.is_enabled()`.
 fn trace_level0_sweeps(
     gpu: &Gpu,
     trace: &wsvd_trace::TraceSink,
@@ -483,7 +488,40 @@ fn decompose_level(
         health.plan_selected(level, plan.w, plan.delta, plan.threads, level_t0);
     }
     let sanitizing = gpu.sanitize_enabled();
-    if sanitizing {
+    // Ahead-of-time certification: under `CertifyMode::Require` the selected
+    // plan's family must hold a certificate for this device covering the
+    // configured ordering and every task's block count — a miss is a hard
+    // error before any launch. A certified level skips the per-launch
+    // `verify_level` re-verification below (the certificate already proves
+    // its non-tautological obligations once, for the whole family).
+    let certified = match crate::certify::mode() {
+        CertifyMode::Require => {
+            let cert = crate::certify::check_level(gpu.device(), &plan, &sizes, cfg.ordering)
+                .map_err(|e| {
+                    KernelError::Other(format!(
+                        "wsvd-analyze: uncertified plan at level {level}: {e}"
+                    ))
+                })?;
+            if traced {
+                trace.instant(
+                    gpu.trace_pid(),
+                    "certify",
+                    "plan-certified",
+                    level_t0,
+                    vec![
+                        ("level", level.into()),
+                        ("w", plan.w.into()),
+                        ("threads", plan.threads.into()),
+                        ("tasks_checked", cert.tasks_checked.into()),
+                        ("max_task_blocks", cert.max_task_blocks.into()),
+                    ],
+                );
+            }
+            true
+        }
+        CertifyMode::Off => false,
+    };
+    if sanitizing && !certified {
         // Static half of the wsvd-sanitizer: prove the selected plan's
         // schedules and shared-memory working sets sound before any launch.
         let check = verify_level(&sizes, &plan, cfg.ordering, smem).map_err(|e| {
@@ -555,8 +593,9 @@ fn decompose_level(
                 }
             })
             .collect();
-        if sanitizing && cfg.dynamic_ordering {
-            // Dynamically generated sweeps carry no static proof; check each
+        if (sanitizing || certified) && cfg.dynamic_ordering {
+            // Dynamically generated sweeps carry no static proof (and no
+            // certificate — the schedule is data-dependent); check each
             // one before its rotations launch.
             for (t, sched) in schedules.iter().enumerate() {
                 if sched.is_empty() {

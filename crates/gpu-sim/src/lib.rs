@@ -24,6 +24,7 @@ pub mod device;
 pub mod graph;
 pub mod launch;
 pub mod profile;
+pub mod resource;
 pub mod sanitize;
 pub mod smem;
 
@@ -33,6 +34,9 @@ pub use device::{DeviceSpec, A100, ALL_DEVICES, P100, TITAN_X, V100, VEGA20};
 pub use graph::{GraphStats, LaunchGraph};
 pub use launch::{BlockCtx, BlockPlacement, Gpu, KernelConfig, KernelError, OCCUPANCY_BUCKETS};
 pub use profile::{time_share_percent, KernelDerived, KernelObservation, KernelProfile, Profiler};
+pub use resource::{
+    BarrierDiscipline, KernelResource, ResourceFit, ResourceViolation, ScheduleFamily,
+};
 pub use sanitize::{
     HazardKind, HazardTracker, SanitizeMode, SanitizerReport, SmemRequirement, Violation,
 };

@@ -172,7 +172,7 @@ impl fmt::Display for Violation {
 /// A static shared-memory demand that must fit the per-block arena before a
 /// kernel may launch (the line-2/8/10 predicates of Algorithm 2, promoted to
 /// checkable artifacts).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct SmemRequirement {
     /// What requires the memory (kernel or working-set label).
     pub label: String,

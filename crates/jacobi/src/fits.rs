@@ -6,6 +6,8 @@
 //! kernels allocate through the capacity-enforced arena, so a predicate that
 //! under-estimates fails loudly in tests rather than silently mis-modelling.
 
+use wsvd_gpu_sim::{BarrierDiscipline, KernelResource, ScheduleFamily};
+
 /// `f64` elements needed by the SM one-sided Jacobi SVD kernel on an
 /// `m x n` matrix.
 ///
@@ -56,6 +58,32 @@ pub fn max_w_for_evd(smem_bytes: usize) -> usize {
         w += 1;
     }
     w
+}
+
+/// Resource-IR descriptor for the SM one-sided Jacobi SVD kernel on an
+/// `m x n` matrix: the [`svd_smem_elems`] working set, whole-block uniform
+/// barriers (every lane reaches every `sync_threads`), and a statically
+/// generated pair schedule.
+pub fn svd_kernel_resource(m: usize, n: usize, threads: usize) -> KernelResource {
+    KernelResource::from_elems(
+        format!("sm-svd {m}x{n}"),
+        svd_smem_elems(m, n),
+        threads,
+        BarrierDiscipline::Uniform,
+        ScheduleFamily::Static,
+    )
+}
+
+/// Resource-IR descriptor for the SM two-sided Jacobi EVD kernel on an
+/// `s x s` symmetric matrix ([`evd_smem_elems`] working set).
+pub fn evd_kernel_resource(s: usize, threads: usize) -> KernelResource {
+    KernelResource::from_elems(
+        format!("sm-evd {s}x{s}"),
+        evd_smem_elems(s),
+        threads,
+        BarrierDiscipline::Uniform,
+        ScheduleFamily::Static,
+    )
 }
 
 #[cfg(test)]
