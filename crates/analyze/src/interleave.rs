@@ -1,10 +1,13 @@
 //! Exhaustive two-thread interleaving exploration.
 //!
-//! The workspace has two lock-free protocols whose correctness arguments
+//! The workspace has three lock-free protocols whose correctness arguments
 //! live in comments: the flight-recorder ring's reserve-then-publish
 //! protocol (`wsvd_health::FlightRecorder::record` — "never overwrite newer
-//! with older") and the cluster model's CAS accumulation loop
-//! (`wsvd_gpu_sim::cluster` — "a plain load-add-store here loses updates").
+//! with older"), the cluster model's CAS accumulation loop
+//! (`wsvd_gpu_sim::cluster` — "a plain load-add-store here loses updates"),
+//! and the elastic work deque's claim protocol
+//! (`wsvd_gpu_sim::cluster::queue::RankQueue::claim` — a single `fetch_add`
+//! hands each chunk to exactly one puller, whether owner or thief).
 //! `loom` is not vendorable, so this module implements the small fragment
 //! needed to *prove* those comments: each protocol is modelled as two
 //! threads of atomic steps over a shared state, and a depth-first search
@@ -260,6 +263,78 @@ pub fn cas_no_lost_update(s: &CasState, l: &[CasLocal; 2]) -> Result<(), String>
     }
 }
 
+// ---------------------------------------------------------------------------
+// Model: elastic work-deque claim (owner pop vs thief steal).
+// ---------------------------------------------------------------------------
+
+/// Shared state of one rank's work deque: the claim cursor over `len`
+/// queued chunks. Owner `pop_own` and a thief's `steal` race on the same
+/// cursor — the protocol's whole correctness story is that the claim is one
+/// `fetch_add`.
+#[derive(Clone, Debug, Default)]
+pub struct DequeState {
+    /// The `fetch_add` claim cursor (`RankQueue::next`).
+    pub next: usize,
+    /// Number of chunks in the queue.
+    pub len: usize,
+}
+
+/// Puller-local state: the cursor snapshot of a split (lossy) claim, and
+/// the chunks this puller won.
+#[derive(Clone, Debug, Default)]
+pub struct DequeLocal {
+    /// Cursor value read by the lossy variant's separate load.
+    pub observed: Option<usize>,
+    /// Chunk indices claimed by this puller.
+    pub claimed: Vec<usize>,
+}
+
+/// The real protocol, one atomic step: `next.fetch_add(1)` and the bounds
+/// check happen indivisibly, exactly like `RankQueue::claim`.
+pub fn deque_claim_atomic(s: &mut DequeState, l: &mut DequeLocal) -> Step {
+    let i = s.next;
+    s.next += 1;
+    if i < s.len {
+        l.claimed.push(i);
+    }
+    Step::Next
+}
+
+/// First half of the planted lossy variant: read the cursor...
+pub fn deque_load_cursor(s: &mut DequeState, l: &mut DequeLocal) -> Step {
+    l.observed = Some(s.next);
+    Step::Next
+}
+
+/// ...second half: bump it and take the chunk at the *stale* snapshot. Two
+/// pullers that both loaded the same cursor claim the same chunk — and the
+/// chunk behind it is silently never run.
+pub fn deque_store_claim_lossy(s: &mut DequeState, l: &mut DequeLocal) -> Step {
+    let i = l.observed.take().expect("load ran first");
+    s.next = i + 1;
+    if i < s.len {
+        l.claimed.push(i);
+    }
+    Step::Next
+}
+
+/// Invariant of the deque model: every queued chunk is claimed by exactly
+/// one puller — no double execution, no lost work.
+pub fn deque_exactly_once(s: &DequeState, l: &[DequeLocal; 2]) -> Result<(), String> {
+    let mut seen = vec![0usize; s.len];
+    for local in l {
+        for &c in &local.claimed {
+            seen[c] += 1;
+        }
+    }
+    for (i, &n) in seen.iter().enumerate() {
+        if n != 1 {
+            return Err(format!("chunk {i} claimed {n} times (want exactly once)"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +426,48 @@ mod tests {
             r.violations
                 .iter()
                 .any(|v| v.contains("total 3") || v.contains("total 5")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn deque_claim_is_exactly_once_under_all_interleavings() {
+        // Two chunks, two pullers (owner + thief), each trying two claims:
+        // overshooting claims past `len` are the empty-pop no-op.
+        let prog: &[Op<DequeState, DequeLocal>] = &[deque_claim_atomic, deque_claim_atomic];
+        let r = explore(
+            &DequeState { next: 0, len: 2 },
+            &[DequeLocal::default(), DequeLocal::default()],
+            [prog, prog],
+            &deque_exactly_once,
+        );
+        assert_eq!(r.executions, 6);
+        assert!(r.holds(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn split_claim_double_runs_a_chunk_somewhere() {
+        let prog: &[Op<DequeState, DequeLocal>] = &[
+            deque_load_cursor,
+            deque_store_claim_lossy,
+            deque_load_cursor,
+            deque_store_claim_lossy,
+        ];
+        let r = explore(
+            &DequeState { next: 0, len: 2 },
+            &[DequeLocal::default(), DequeLocal::default()],
+            [prog, prog],
+            &deque_exactly_once,
+        );
+        assert!(
+            !r.holds(),
+            "checker is vacuous: the torn claim went unnoticed"
+        );
+        // The signature failure: two pullers loaded the same cursor value,
+        // so some chunk runs twice (and the one behind it is lost).
+        assert!(
+            r.violations.iter().any(|v| v.contains("claimed 2 times")),
             "{:?}",
             r.violations
         );

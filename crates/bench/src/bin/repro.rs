@@ -14,6 +14,7 @@
 //!   repro --prom FILE [...]          # export the registry as Prometheus text
 //!   repro --health [<id> ...]        # numerical-health watchdogs + flight recorder
 //!   repro --health-dump FILE [...]   # also write the full health report as JSON
+//!   repro --cluster-faults [...]     # elastic-cluster fault drill (default: ext-cluster)
 //! ```
 //!
 //! `--trace FILE` records every simulated kernel launch, W-cycle sweep and
@@ -55,6 +56,13 @@
 //! writes the full [`wsvd_health::HealthReport`] — incidents, ring-buffer
 //! tail, metrics snapshot and replayable seeds — as JSON.
 //!
+//! `--cluster-faults` runs the elastic-cluster fault drill (defaults the id
+//! list to `ext-cluster`): work-stealing, mid-batch kills and
+//! checkpoint/resume on a simulated multi-GPU cluster. After the experiments
+//! run, the process exits non-zero if any chunk of work was left
+//! unrecovered — a retry budget exhausted or every rank dead — anywhere in
+//! the invocation.
+//!
 //! `--fused` makes every W-cycle run record its per-level launches into a
 //! [`wsvd_gpu_sim::LaunchGraph`], paying the driver's launch overhead once
 //! per level instead of once per kernel (back-to-back same-shape launches
@@ -81,6 +89,7 @@ fn main() {
     let mut prom_out: Option<String> = None;
     let mut health = false;
     let mut health_dump: Option<String> = None;
+    let mut cluster_faults = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -109,6 +118,7 @@ fn main() {
             "--prom" => prom_out = Some(it.next().expect("--prom needs a file")),
             "--health" => health = true,
             "--health-dump" => health_dump = Some(it.next().expect("--health-dump needs a file")),
+            "--cluster-faults" => cluster_faults = true,
             other => ids.push(other.to_string()),
         }
     }
@@ -123,6 +133,11 @@ fn main() {
         if ids.is_empty() && !run_all && check_dir.is_none() {
             ids.push("fig7".to_string());
         }
+    }
+    // The fault drill needs no global mode — faults are injected per-run by
+    // the experiment — but it picks its default target the same way.
+    if cluster_faults && ids.is_empty() && !run_all && check_dir.is_none() {
+        ids.push("ext-cluster".to_string());
     }
     // Certification must also be armed before the first `Gpu`: the W-cycle
     // driver consults the mode at plan-selection time, every level.
@@ -235,6 +250,22 @@ fn main() {
             events.len()
         );
     };
+    // The cluster fault drill's exit contract: every requeued chunk must
+    // have landed somewhere — work abandoned after the retry budget (or
+    // because every rank died) fails the invocation.
+    let finish_cluster = |armed: bool| -> bool {
+        if !armed {
+            return false;
+        }
+        let lost = wsvd_gpu_sim::unrecovered_total();
+        if lost > 0 {
+            eprintln!("wsvd-cluster: {lost} chunk(s) of work left unrecovered");
+            true
+        } else {
+            eprintln!("wsvd-cluster: all injected faults recovered; no work lost");
+            false
+        }
+    };
     let experiments = all_experiments();
     if run_all {
         ids = experiments.iter().map(|(id, _)| id.to_string()).collect();
@@ -278,13 +309,18 @@ fn main() {
         dump_trace(&trace_sink);
         dump_metrics(&metrics_sink, scale, &ids);
         let unhealthy = finish_health(&health_sink, &ids);
-        std::process::exit(if failed > 0 || unhealthy { 1 } else { 0 });
+        let unrecovered = finish_cluster(cluster_faults);
+        std::process::exit(if failed > 0 || unhealthy || unrecovered {
+            1
+        } else {
+            0
+        });
     }
     if ids.is_empty() {
         eprintln!(
             "usage: repro --all | <id>... [--scale reduced|full] [--json DIR] [--certify] \
              [--fused] [--report] [--bench-out FILE] [--prom FILE] [--health] \
-             [--health-dump FILE]"
+             [--health-dump FILE] [--cluster-faults]"
         );
         eprintln!("known ids:");
         for (id, _) in &experiments {
@@ -336,7 +372,8 @@ fn main() {
             ids.len()
         );
     }
-    if finish_health(&health_sink, &ids) {
+    let unhealthy = finish_health(&health_sink, &ids);
+    if unhealthy || finish_cluster(cluster_faults) {
         std::process::exit(1);
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! Usage:
 //! ```text
-//!   wsvd-bench-diff [--gate] [--allow-new] [--tol-time R] [--tol-counter R] BASELINE NEW
+//!   wsvd-bench-diff [--gate] [--allow-new] [--accept PREFIX]...
+//!                   [--tol-time R] [--tol-counter R] BASELINE NEW
 //! ```
 //!
 //! Every metric series in either snapshot is compared: time-like series
@@ -12,10 +13,15 @@
 //! `--tol-counter` (default 0 = exact). Missing or extra series always
 //! violate, except that `--allow-new` accepts series present only in NEW —
 //! the flag CI uses when a release legitimately adds experiments and the
-//! fresh snapshot is gated against the *previous* baseline. With `--gate`
-//! the process exits non-zero when any violation is found — CI regenerates
-//! a fresh snapshot and gates it against the committed `BENCH_<n>.json`
-//! baseline this way.
+//! fresh snapshot is gated against the *previous* baseline. `--accept
+//! PREFIX` (repeatable) waives value drift on series whose key starts with
+//! PREFIX — for a release that intentionally changes existing behavior
+//! (e.g. PR 8 rerouting dead-shard failover through the elastic requeue
+//! changed ext-health's killed-shard launch counts); missing/extra series
+//! under an accepted prefix still violate, and the waiver should pin the
+//! narrowest possible keys. With `--gate` the process exits non-zero when
+//! any violation is found — CI regenerates a fresh snapshot and gates it
+//! against the committed `BENCH_<n>.json` baseline this way.
 
 use wsvd_bench::{BenchSnapshot, Tolerances};
 
@@ -28,6 +34,10 @@ fn main() {
         match a.as_str() {
             "--gate" => gate = true,
             "--allow-new" => tol.allow_new = true,
+            "--accept" => {
+                tol.accept_prefixes
+                    .push(it.next().expect("--accept needs a key prefix"));
+            }
             "--tol-time" => {
                 tol.time = it
                     .next()
@@ -47,10 +57,17 @@ fn main() {
     }
     if paths.len() != 2 {
         eprintln!(
-            "usage: wsvd-bench-diff [--gate] [--allow-new] [--tol-time R] [--tol-counter R] \
-             BASELINE NEW"
+            "usage: wsvd-bench-diff [--gate] [--allow-new] [--accept PREFIX]... [--tol-time R] \
+             [--tol-counter R] BASELINE NEW"
         );
         std::process::exit(2);
+    }
+    if !tol.accept_prefixes.is_empty() {
+        println!(
+            "accepting intended value drift under {} prefix(es): {}",
+            tol.accept_prefixes.len(),
+            tol.accept_prefixes.join(", ")
+        );
     }
     let load = |path: &str| -> BenchSnapshot {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {

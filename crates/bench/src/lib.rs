@@ -11,6 +11,7 @@
 pub mod exp_accuracy;
 pub mod exp_apps;
 pub mod exp_baselines;
+pub mod exp_cluster;
 pub mod exp_extensions;
 pub mod exp_health;
 pub mod exp_kernels;
@@ -59,5 +60,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-metrics", exp_extensions::ext_metrics),
         ("ext-certify", exp_extensions::ext_certify),
         ("ext-health", exp_health::ext_health),
+        ("ext-cluster", exp_cluster::ext_cluster),
     ]
 }

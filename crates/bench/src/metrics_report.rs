@@ -185,7 +185,7 @@ pub struct BenchSnapshot {
 }
 
 /// Relative tolerances for [`BenchSnapshot::compare`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Tolerances {
     /// Allowed relative drift on time-like series (names ending `seconds`).
     pub time: f64,
@@ -195,6 +195,11 @@ pub struct Tolerances {
     /// in the baseline still violate). This is how CI gates a snapshot that
     /// legitimately *adds* experiments against the previous baseline.
     pub allow_new: bool,
+    /// Key prefixes whose *value drift* is accepted as an intended change
+    /// when gating against the previous release's baseline. Missing or
+    /// extra series under an accepted prefix still violate — the flag
+    /// waives a documented behavior change, not a lost series.
+    pub accept_prefixes: Vec<String>,
 }
 
 impl Default for Tolerances {
@@ -203,7 +208,14 @@ impl Default for Tolerances {
             time: 0.01,
             counter: 0.0,
             allow_new: false,
+            accept_prefixes: Vec::new(),
         }
+    }
+}
+
+impl Tolerances {
+    fn accepts(&self, key: &str) -> bool {
+        self.accept_prefixes.iter().any(|p| key.starts_with(p))
     }
 }
 
@@ -237,7 +249,9 @@ impl BenchSnapshot {
     /// human-readable violation per series outside tolerance. Missing or
     /// extra series are always violations; time-like series (`*seconds`)
     /// use `tol.time`, all other counters/gauges use `tol.counter`, and
-    /// histogram bucket counts are compared under `tol.counter`.
+    /// histogram bucket counts are compared under `tol.counter`. Value
+    /// drift on a series under `tol.accept_prefixes` is waived (missing
+    /// or extra series under a prefix still violate).
     pub fn compare(&self, fresh: &BenchSnapshot, tol: &Tolerances) -> Vec<String> {
         let mut out = Vec::new();
         if self.version != fresh.version {
@@ -280,7 +294,7 @@ impl BenchSnapshot {
             ) {
                 (Some(a), Some(b)) => {
                     let d = rel_diff(a.total as f64, b.total as f64);
-                    if d > tol.counter {
+                    if d > tol.counter && !tol.accepts(key) {
                         out.push(format!(
                             "histogram {key}: baseline count {} vs new {} (rel {:.2e} > tol {:.2e})",
                             a.total, b.total, d, tol.counter
@@ -320,7 +334,7 @@ fn compare_maps(
                     tol.counter
                 };
                 let d = rel_diff(a, b);
-                if d > t {
+                if d > t && !tol.accepts(key) {
                     out.push(format!(
                         "{kind} {key}: baseline {a} vs new {b} (rel {d:.2e} > tol {t:.2e})"
                     ));
@@ -451,6 +465,43 @@ mod tests {
         };
         assert!(base.compare(&fresh, &tol).is_empty());
         fresh.metrics.counters.remove("t/evd/-/flops");
+        let violations = base.compare(&fresh, &tol);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing from new"));
+    }
+
+    #[test]
+    fn accept_prefixes_waive_value_drift_but_not_lost_series() {
+        let base = BenchSnapshot {
+            version: 1.0,
+            scale: "reduced".to_string(),
+            experiments: vec![],
+            metrics: sample_snapshot(),
+        };
+        let mut fresh = base.clone();
+        if let Some(v) = fresh.metrics.counters.get_mut("t/evd/-/launches") {
+            *v += 7.0;
+        }
+        let tol = Tolerances {
+            accept_prefixes: vec!["t/evd/-/launches".to_string()],
+            ..Tolerances::default()
+        };
+        assert!(
+            base.compare(&fresh, &tol).is_empty(),
+            "drift on the accepted key must be waived"
+        );
+        // Drift outside the accepted prefix still violates...
+        if let Some(v) = fresh.metrics.counters.get_mut("t/evd/-/flops") {
+            *v += 1.0;
+        }
+        let violations = base.compare(&fresh, &tol);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("flops"));
+        // ...and an accepted series going missing is never waived.
+        if let Some(v) = fresh.metrics.counters.get_mut("t/evd/-/flops") {
+            *v -= 1.0;
+        }
+        fresh.metrics.counters.remove("t/evd/-/launches");
         let violations = base.compare(&fresh, &tol);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("missing from new"));

@@ -1,0 +1,387 @@
+//! The on-disk checkpoint format of an elastic cluster run (DESIGN.md §13).
+//!
+//! [`RunCheckpoint`] is the JSON-serializable mirror of the elastic
+//! executor's in-memory [`ElasticCheckpoint`]: everything a killed run needs
+//! to resume **bit-identically** to a run that was never interrupted —
+//!
+//! * the **completed-chunk set** with each chunk's computed payload
+//!   (analysis weights) and its partially converged W-cycle sweep state
+//!   (the per-level off-diagonal trackers of [`SweepRecord`], plus the
+//!   plan's chosen per-level widths);
+//! * the **pending work**: every rank's home queue with its claim cursor,
+//!   and the requeue pool, verbatim — the resumed scheduler replays the
+//!   straight-through pull order exactly;
+//! * the **clocks**: per-rank simulated seconds and the collective clock;
+//! * the **fault cursors**: which ranks are dead, which planned stalls and
+//!   kills have already been applied;
+//! * **seed provenance**: the experiment scope and workload seed, so the
+//!   inputs regenerate deterministically (the same rule the health layer's
+//!   incidents follow), and a caller-supplied `fingerprint` of the chunking
+//!   and solver configuration that [`RunCheckpoint::thaw`] refuses to
+//!   resume across — resuming under a different plan would silently change
+//!   the numerics the bit-identity contract pins.
+//!
+//! The gpu-sim types ([`TaskChunk`], [`QueueSnapshot`]) are mirrored into
+//! flat named-field structs here because the vendored serde shim derives
+//! exactly those; the conversions are lossless and tested by a proptest
+//! round-trip at the workspace level.
+
+use wsvd_gpu_sim::cluster::{ElasticCheckpoint, QueueSnapshot, RecoveryCounters, TaskChunk};
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::SweepRecord;
+
+/// Format version stamped into every checkpoint; [`RunCheckpoint::thaw`]
+/// rejects other versions.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Serializable mirror of [`TaskChunk`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChunkState {
+    /// Stable chunk id.
+    pub id: usize,
+    /// Batch indices the chunk covers.
+    pub indices: Vec<usize>,
+    /// Size-class cap (`usize::MAX` = overflow class).
+    pub size_class: usize,
+    /// Home rank of the chunk.
+    pub home_rank: usize,
+    /// Mid-chunk deaths charged to this chunk so far.
+    pub retries: usize,
+    /// Whether the chunk has been orphaned into the requeue pool.
+    pub requeued: bool,
+}
+
+impl From<&TaskChunk> for ChunkState {
+    fn from(c: &TaskChunk) -> Self {
+        ChunkState {
+            id: c.id,
+            indices: c.indices.clone(),
+            size_class: c.size_class,
+            home_rank: c.home_rank,
+            retries: c.retries,
+            requeued: c.requeued,
+        }
+    }
+}
+
+impl From<ChunkState> for TaskChunk {
+    fn from(c: ChunkState) -> Self {
+        TaskChunk {
+            id: c.id,
+            indices: c.indices,
+            size_class: c.size_class,
+            home_rank: c.home_rank,
+            retries: c.retries,
+            requeued: c.requeued,
+        }
+    }
+}
+
+/// One rank's home queue with its claim cursor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankQueueState {
+    /// The immutable chunk list of the queue.
+    pub chunks: Vec<ChunkState>,
+    /// Claim cursor: chunks `0..cursor` were already pulled.
+    pub cursor: usize,
+}
+
+/// What one completed chunk computed: the per-index analysis weights and
+/// the partially converged W-cycle sweep state of the chunk's batched
+/// decomposition.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChunkPayload {
+    /// Analysis weight vectors, aligned with the chunk's `indices`.
+    pub weights: Vec<Vec<f64>>,
+    /// Per-sweep off-diagonal trackers of the chunk's W-cycle run
+    /// (recorded under `WCycleConfig::record_convergence`).
+    pub convergence: Vec<SweepRecord>,
+    /// Column-block widths the plan chose per level (`widths_per_level`).
+    pub widths: Vec<usize>,
+}
+
+/// A completed chunk with its payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// The chunk, as it was when it completed.
+    pub chunk: ChunkState,
+    /// What it computed.
+    pub payload: ChunkPayload,
+}
+
+/// Serializable mirror of [`RecoveryCounters`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterState {
+    /// Chunks claimed from another rank's home queue.
+    pub stolen_chunks: u64,
+    /// Chunks moved to the requeue pool.
+    pub requeued_chunks: u64,
+    /// Mid-flight deaths.
+    pub retried_chunks: u64,
+    /// Chunks abandoned after retry exhaustion.
+    pub unrecovered_chunks: u64,
+    /// Simulated seconds spent re-executing requeued work.
+    pub recovery_seconds: f64,
+    /// Serialized checkpoint size in bytes.
+    pub checkpoint_bytes: u64,
+    /// Ranks that died during the run.
+    pub killed_ranks: u64,
+}
+
+impl From<&RecoveryCounters> for CounterState {
+    fn from(c: &RecoveryCounters) -> Self {
+        CounterState {
+            stolen_chunks: c.stolen_chunks,
+            requeued_chunks: c.requeued_chunks,
+            retried_chunks: c.retried_chunks,
+            unrecovered_chunks: c.unrecovered_chunks,
+            recovery_seconds: c.recovery_seconds,
+            checkpoint_bytes: c.checkpoint_bytes,
+            killed_ranks: c.killed_ranks,
+        }
+    }
+}
+
+impl From<CounterState> for RecoveryCounters {
+    fn from(c: CounterState) -> Self {
+        RecoveryCounters {
+            stolen_chunks: c.stolen_chunks,
+            requeued_chunks: c.requeued_chunks,
+            retried_chunks: c.retried_chunks,
+            unrecovered_chunks: c.unrecovered_chunks,
+            recovery_seconds: c.recovery_seconds,
+            checkpoint_bytes: c.checkpoint_bytes,
+            killed_ranks: c.killed_ranks,
+        }
+    }
+}
+
+/// The full serializable state of a partially completed elastic run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Experiment scope the run belongs to.
+    pub experiment: String,
+    /// RNG seed the workload regenerates from (seed provenance).
+    pub workload_seed: u64,
+    /// Caller-supplied digest of the chunking + solver configuration;
+    /// [`RunCheckpoint::thaw`] refuses a mismatch.
+    pub fingerprint: String,
+    /// Completed chunks with their payloads, completion order.
+    pub completed: Vec<ChunkRecord>,
+    /// Per-rank home queues with claim cursors.
+    pub queues: Vec<RankQueueState>,
+    /// The requeue pool, FIFO order.
+    pub pool: Vec<ChunkState>,
+    /// Per-rank simulated clocks.
+    pub rank_seconds: Vec<f64>,
+    /// The collective clock.
+    pub sync_seconds: f64,
+    /// Which ranks were dead at checkpoint time.
+    pub killed: Vec<bool>,
+    /// Which planned stalls had been applied.
+    pub stalls_applied: Vec<bool>,
+    /// Which planned kills had been applied.
+    pub kills_applied: Vec<bool>,
+    /// Recovery accounting so far.
+    pub counters: CounterState,
+}
+
+impl RunCheckpoint {
+    /// Captures an elastic checkpoint into the serializable format.
+    pub fn freeze(
+        experiment: &str,
+        workload_seed: u64,
+        fingerprint: &str,
+        ckpt: &ElasticCheckpoint<ChunkPayload>,
+    ) -> Self {
+        RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            experiment: experiment.to_string(),
+            workload_seed,
+            fingerprint: fingerprint.to_string(),
+            completed: ckpt
+                .completed
+                .iter()
+                .map(|(chunk, payload)| ChunkRecord {
+                    chunk: chunk.into(),
+                    payload: payload.clone(),
+                })
+                .collect(),
+            queues: ckpt
+                .queue
+                .queues
+                .iter()
+                .map(|(chunks, cursor)| RankQueueState {
+                    chunks: chunks.iter().map(ChunkState::from).collect(),
+                    cursor: *cursor,
+                })
+                .collect(),
+            pool: ckpt.queue.pool.iter().map(ChunkState::from).collect(),
+            rank_seconds: ckpt.rank_seconds.clone(),
+            sync_seconds: ckpt.sync_seconds,
+            killed: ckpt.killed.clone(),
+            stalls_applied: ckpt.stalls_applied.clone(),
+            kills_applied: ckpt.kills_applied.clone(),
+            counters: (&ckpt.counters).into(),
+        }
+    }
+
+    /// Rebuilds the elastic checkpoint, verifying the format version and
+    /// the configuration fingerprint (resuming under a different chunking
+    /// or solver setup would break the bit-identity contract, so it is an
+    /// error, not a best effort).
+    pub fn thaw(self, fingerprint: &str) -> Result<ElasticCheckpoint<ChunkPayload>, String> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                self.version
+            ));
+        }
+        if self.fingerprint != fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint `{}` does not match the current configuration `{fingerprint}`",
+                self.fingerprint
+            ));
+        }
+        Ok(ElasticCheckpoint {
+            completed: self
+                .completed
+                .into_iter()
+                .map(|r| (r.chunk.into(), r.payload))
+                .collect(),
+            queue: QueueSnapshot {
+                queues: self
+                    .queues
+                    .into_iter()
+                    .map(|q| {
+                        (
+                            q.chunks.into_iter().map(TaskChunk::from).collect(),
+                            q.cursor,
+                        )
+                    })
+                    .collect(),
+                pool: self.pool.into_iter().map(TaskChunk::from).collect(),
+            },
+            rank_seconds: self.rank_seconds,
+            sync_seconds: self.sync_seconds,
+            killed: self.killed,
+            stalls_applied: self.stalls_applied,
+            kills_applied: self.kills_applied,
+            counters: self.counters.into(),
+        })
+    }
+
+    /// Serializes to pretty-printed JSON. Every finite `f64` round-trips
+    /// bit-exactly through the vendored shortest-round-trip renderer, which
+    /// is what lets a thawed run resume bit-identically.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serializes")
+    }
+
+    /// Parses a checkpoint back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("checkpoint parse error: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunCheckpoint {
+        let chunk = |id: usize, requeued: bool| ChunkState {
+            id,
+            indices: vec![2 * id, 2 * id + 1],
+            size_class: 64,
+            home_rank: id % 2,
+            retries: usize::from(requeued),
+            requeued,
+        };
+        RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            experiment: "ext-cluster".into(),
+            workload_seed: 4242,
+            fingerprint: "vega20x2/t1/caps32-512".into(),
+            completed: vec![ChunkRecord {
+                chunk: chunk(0, false),
+                payload: ChunkPayload {
+                    weights: vec![vec![0.5, -0.25], vec![1.0 / 3.0]],
+                    convergence: vec![SweepRecord {
+                        level: 1,
+                        sweep: 2,
+                        off_norm: 1.25e-7,
+                        active: 3,
+                    }],
+                    widths: vec![48, 16],
+                },
+            }],
+            queues: vec![
+                RankQueueState {
+                    chunks: vec![chunk(1, false)],
+                    cursor: 1,
+                },
+                RankQueueState {
+                    chunks: vec![chunk(2, false)],
+                    cursor: 0,
+                },
+            ],
+            pool: vec![chunk(3, true)],
+            rank_seconds: vec![1.5e-3, 7.25e-4],
+            sync_seconds: 3.0e-5,
+            killed: vec![false, true],
+            stalls_applied: vec![true],
+            kills_applied: vec![true, false],
+            counters: CounterState {
+                stolen_chunks: 2,
+                requeued_chunks: 1,
+                retried_chunks: 1,
+                unrecovered_chunks: 0,
+                recovery_seconds: 1.0e-4,
+                checkpoint_bytes: 0,
+                killed_ranks: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let ckpt = sample();
+        let back = RunCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(back, ckpt);
+        // The clocks specifically must survive bit-exactly — the resume
+        // contract depends on it.
+        for (a, b) in ckpt.rank_seconds.iter().zip(&back.rank_seconds) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn freeze_thaw_round_trips_through_the_elastic_types() {
+        let ckpt = sample();
+        let elastic = ckpt.clone().thaw("vega20x2/t1/caps32-512").unwrap();
+        let back = RunCheckpoint::freeze("ext-cluster", 4242, "vega20x2/t1/caps32-512", &elastic);
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn thaw_rejects_wrong_fingerprint_and_version() {
+        let err = sample().thaw("some-other-config").unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        let mut old = sample();
+        old.version = 99;
+        let err = old.thaw("vega20x2/t1/caps32-512").unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn overflow_size_class_survives_json() {
+        let mut ckpt = sample();
+        ckpt.pool[0].size_class = usize::MAX;
+        let back = RunCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(back.pool[0].size_class, usize::MAX);
+    }
+}

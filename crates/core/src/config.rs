@@ -93,6 +93,15 @@ pub struct WCycleConfig {
     /// non-converging run for the stagnation watchdog. Leave `None` in
     /// production.
     pub inner_tol_override: Option<f64>,
+    /// Record the per-sweep convergence trajectory (level, sweep, off-norm,
+    /// active tasks) into
+    /// [`WCycleStats::convergence`](crate::WCycleStats). The same samples
+    /// the trace/health sinks observe, but surfaced as *data* so a cluster
+    /// checkpoint can carry the partially converged sweep state of its
+    /// completed chunks. Off by default: the extra coherence reductions are
+    /// host-side and uncharged, but recording is opt-in to keep default
+    /// stats identical to earlier releases.
+    pub record_convergence: bool,
 }
 
 /// Process-wide default for [`WCycleConfig::fused`], set once by the host
@@ -129,6 +138,7 @@ impl Default for WCycleConfig {
             kernel_threads: 256,
             fused: fused_default(),
             inner_tol_override: None,
+            record_convergence: false,
         }
     }
 }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod certify;
+pub mod checkpoint;
 pub mod config;
 pub mod stats;
 pub mod verify;
@@ -38,7 +39,11 @@ pub use certify::{
     CertifyError, CertifyMode, DeviceCertificates, FamilyKey, PlanCertificate, PlanClaim,
     PlanOrigin, ScheduleAtlas,
 };
+pub use checkpoint::{
+    ChunkPayload, ChunkRecord, ChunkState, CounterState, RankQueueState, RunCheckpoint,
+    CHECKPOINT_VERSION,
+};
 pub use config::{fused_default, set_fused_default, AlphaSelect, Tuning, WCycleConfig};
-pub use stats::WCycleStats;
+pub use stats::{SweepRecord, WCycleStats};
 pub use verify::{effective_width, verify_level, LevelCheck};
 pub use wcycle::{wcycle_svd, WCycleOutput, WSvd};

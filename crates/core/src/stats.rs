@@ -1,5 +1,22 @@
 //! Aggregate statistics of a W-cycle run.
 
+use serde::{Deserialize, Serialize};
+
+/// One per-sweep convergence sample of a W-cycle level — the off-diagonal
+/// tracker state a cluster checkpoint serializes for its completed chunks.
+/// Only recorded when the config's `record_convergence` flag is on.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// W-cycle level (0 = whole-matrix SM kernel batch).
+    pub level: u64,
+    /// Sweep number within the level's visit (1-based).
+    pub sweep: u64,
+    /// Maximum normalized column coherence over the level's tasks.
+    pub off_norm: f64,
+    /// Tasks still unconverged after this sweep.
+    pub active: u64,
+}
+
 /// Counters describing where the multilevel workflow spent its rotations.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct WCycleStats {
@@ -19,6 +36,9 @@ pub struct WCycleStats {
     pub sweeps_per_matrix: Vec<usize>,
     /// Column-block widths chosen per level.
     pub widths_per_level: Vec<usize>,
+    /// Per-sweep convergence trajectory, in recording order (empty unless
+    /// the config's `record_convergence` is set).
+    pub convergence: Vec<SweepRecord>,
 }
 
 impl WCycleStats {

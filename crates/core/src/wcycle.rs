@@ -151,7 +151,7 @@ pub fn wcycle_svd(
             cache_norms: cfg.cache_norms,
             accumulate_v: true,
             ordering: cfg.ordering,
-            record_coherence: traced || watched,
+            record_coherence: traced || watched || cfg.record_convergence,
             ..Default::default()
         };
         let t_pre = gpu.elapsed_seconds();
@@ -161,6 +161,9 @@ pub fn wcycle_svd(
         }
         if watched {
             health_level0_sweeps(&health, &svds, t_pre, gpu.elapsed_seconds());
+        }
+        if cfg.record_convergence {
+            record_level0_convergence(&mut stats, &svds);
         }
         stats.level0_sm_svds = svds.len();
         // Level-0 registry metrics mirror the per-level hook in
@@ -317,6 +320,26 @@ fn health_level0_sweeps(
         let active = svds.iter().filter(|o| o.stats.sweeps > s + 1).count();
         let ts = t_pre + (t_post - t_pre) * (s + 1) as f64 / s_max as f64;
         health.sweep_sample(0, s + 1, coherence, active, ts);
+    }
+}
+
+/// Mirrors [`health_level0_sweeps`] into [`WCycleStats::convergence`]: the
+/// same per-sweep aggregation of the SM kernels' coherence histories, but
+/// surfaced as data for the cluster checkpoint instead of fed to a sink.
+fn record_level0_convergence(stats: &mut WCycleStats, svds: &[JacobiSvd]) {
+    let s_max = svds.iter().map(|o| o.stats.sweeps).max().unwrap_or(0);
+    for s in 0..s_max {
+        let off_norm = svds
+            .iter()
+            .filter_map(|o| o.coherence_per_sweep.get(s))
+            .fold(0.0f64, |acc, &c| acc.max(c));
+        let active = svds.iter().filter(|o| o.stats.sweeps > s + 1).count();
+        stats.convergence.push(crate::SweepRecord {
+            level: 0,
+            sweep: (s + 1) as u64,
+            off_norm,
+            active: active as u64,
+        });
     }
 }
 
@@ -764,7 +787,7 @@ fn decompose_level(
         for t in 0..tasks.len() {
             if active[t] {
                 sweeps[t] += 1;
-                if traced || watched {
+                if traced || watched || cfg.record_convergence {
                     coherence = coherence.max(max_column_coherence(&tasks[t]));
                 }
                 if columns_converged(&tasks[t], cfg.tol) {
@@ -799,6 +822,14 @@ fn decompose_level(
                 still_active,
                 gpu.elapsed_seconds(),
             );
+        }
+        if cfg.record_convergence {
+            stats.convergence.push(crate::SweepRecord {
+                level: level as u64,
+                sweep: (round + 1) as u64,
+                off_norm: coherence,
+                active: still_active as u64,
+            });
         }
     }
 

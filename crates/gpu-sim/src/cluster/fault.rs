@@ -1,0 +1,209 @@
+//! Deterministic, seedable fault injection for the elastic cluster.
+//!
+//! A [`FaultPlan`] is pure data — *when* and *where* things go wrong in
+//! simulated time — interpreted by the elastic executor:
+//!
+//! * [`Kill`] — rank `r` dies at simulated second `t`. A chunk in flight
+//!   across `t` is discarded (the rank's clock rewinds to the kill
+//!   instant — work after the death never happened) and requeued with
+//!   bounded retry accounting.
+//! * [`Stall`] — a transient pause: once the rank's clock reaches `t` it is
+//!   charged `seconds` of dead time at the next chunk-pull boundary.
+//! * [`Straggler`] — a slow device: every chunk on the rank costs
+//!   `factor` times its simulated duration (charged host-side after the
+//!   chunk, so a factor of exactly `1.0` is bit-identical to no fault).
+//!
+//! Plans are deterministic by construction; [`FaultPlan::seeded`] derives
+//! one from a seed with a splitmix64 stream, so a chaos scenario is fully
+//! replayable from the seed alone (the same provenance rule the health
+//! layer's incidents follow).
+
+/// Kill rank `rank` at simulated time `at_seconds`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Kill {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Simulated second of death.
+    pub at_seconds: f64,
+}
+
+/// Pause rank `rank` for `seconds` once its clock reaches `at_seconds`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stall {
+    /// The stalled rank.
+    pub rank: usize,
+    /// Simulated second the stall arms at.
+    pub at_seconds: f64,
+    /// Dead time charged at the next pull boundary.
+    pub seconds: f64,
+}
+
+/// Slow down every chunk on `rank` by `factor`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Straggler {
+    /// The slow rank.
+    pub rank: usize,
+    /// Duration multiplier (`2.0` = twice as slow; `1.0` = no-op).
+    pub factor: f64,
+}
+
+/// A deterministic fault schedule for one elastic run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Rank deaths, applied at pull boundaries or mid-chunk.
+    pub kills: Vec<Kill>,
+    /// Transient stalls, applied at pull boundaries.
+    pub stalls: Vec<Stall>,
+    /// Per-rank slowdown factors.
+    pub stragglers: Vec<Straggler>,
+    /// Times a single chunk may die mid-execution before it is declared
+    /// unrecovered (counted on the chunk, not the rank).
+    pub max_retries: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            kills: Vec::new(),
+            stalls: Vec::new(),
+            stragglers: Vec::new(),
+            max_retries: 3,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: the elastic executor is then a strict scheduler with
+    /// no injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a rank death at `at_seconds`.
+    pub fn kill(mut self, rank: usize, at_seconds: f64) -> Self {
+        self.kills.push(Kill { rank, at_seconds });
+        self
+    }
+
+    /// Adds a transient stall.
+    pub fn stall(mut self, rank: usize, at_seconds: f64, seconds: f64) -> Self {
+        self.stalls.push(Stall {
+            rank,
+            at_seconds,
+            seconds,
+        });
+        self
+    }
+
+    /// Adds a slow-device straggler factor.
+    pub fn straggler(mut self, rank: usize, factor: f64) -> Self {
+        self.stragglers.push(Straggler { rank, factor });
+        self
+    }
+
+    /// True when the plan injects nothing (the executor then guarantees
+    /// bit-identical timing to a fault-free run).
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.stalls.is_empty() && self.stragglers.is_empty()
+    }
+
+    /// The combined slowdown factor for `rank` (product of matching
+    /// stragglers; `1.0` when none match).
+    pub fn straggler_factor(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.rank == rank)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Derives a chaos plan from a seed: one straggler (1.25x–2.75x) and,
+    /// on clusters with more than one rank, one kill inside `(0, horizon)`
+    /// on a different rank. Deterministic — the same seed always yields the
+    /// same plan, so a failing chaos run replays from its seed.
+    pub fn seeded(seed: u64, ranks: usize, horizon: f64) -> Self {
+        assert!(ranks > 0, "a fault plan needs at least one rank");
+        let mut state = seed;
+        let slow_rank = (splitmix64(&mut state) as usize) % ranks;
+        let factor = 1.25 + 1.5 * unit(splitmix64(&mut state));
+        let mut plan = FaultPlan::none().straggler(slow_rank, factor);
+        if ranks > 1 {
+            let mut dead_rank = (splitmix64(&mut state) as usize) % ranks;
+            if dead_rank == slow_rank {
+                dead_rank = (dead_rank + 1) % ranks;
+            }
+            let at = horizon * (0.1 + 0.8 * unit(splitmix64(&mut state)));
+            plan = plan.kill(dead_rank, at);
+        }
+        plan
+    }
+}
+
+/// The splitmix64 step (the same generator the vendored `rand` shim builds
+/// on — small, seedable, and good enough to decorrelate plan choices).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a u64 to `[0, 1)` with 53-bit precision.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_empty_plan_reports_empty() {
+        assert!(FaultPlan::none().is_empty());
+        let p = FaultPlan::none()
+            .kill(2, 1.5)
+            .stall(0, 0.5, 0.1)
+            .straggler(1, 2.0);
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.kills,
+            vec![Kill {
+                rank: 2,
+                at_seconds: 1.5
+            }]
+        );
+        assert_eq!(p.max_retries, 3);
+    }
+
+    #[test]
+    fn straggler_factors_multiply_and_default_to_one() {
+        let p = FaultPlan::none().straggler(1, 2.0).straggler(1, 1.5);
+        assert_eq!(p.straggler_factor(1), 3.0);
+        assert_eq!(p.straggler_factor(0), 1.0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_replayable() {
+        let a = FaultPlan::seeded(42, 4, 1.0);
+        let b = FaultPlan::seeded(42, 4, 1.0);
+        assert_eq!(a, b, "same seed must give the same plan");
+        assert_eq!(a.stragglers.len(), 1);
+        assert_eq!(a.kills.len(), 1);
+        let s = &a.stragglers[0];
+        assert!(s.factor >= 1.25 && s.factor < 2.75);
+        let k = &a.kills[0];
+        assert!(k.rank != s.rank, "kill and straggler hit different ranks");
+        assert!(k.at_seconds > 0.0 && k.at_seconds < 1.0);
+        let c = FaultPlan::seeded(43, 4, 1.0);
+        assert_ne!(a, c, "different seeds should decorrelate");
+    }
+
+    #[test]
+    fn single_rank_seeded_plan_never_kills() {
+        let p = FaultPlan::seeded(7, 1, 1.0);
+        assert!(p.kills.is_empty(), "a 1-rank cluster cannot lose its rank");
+        assert_eq!(p.stragglers.len(), 1);
+        assert_eq!(p.stragglers[0].rank, 0);
+    }
+}

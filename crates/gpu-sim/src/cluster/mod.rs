@@ -5,6 +5,28 @@
 //! batch decomposition: each device owns a shard of the batch, devices run
 //! independently (makespan = slowest shard), and every collective step pays
 //! a latency + bandwidth synchronization cost.
+//!
+//! Beyond the static [`GpuCluster::shard`] split, the submodules grow the
+//! cluster into an elastic execution layer (ROADMAP item 5, DESIGN.md §13):
+//!
+//! * [`queue`] — size-class-aware task chunks and the shared work deque
+//!   devices pull from (idle devices steal from the slowest rank);
+//! * [`fault`] — a deterministic, seedable [`FaultPlan`] (kills, transient
+//!   stalls, slow-device straggler factors);
+//! * [`elastic`] — the elastic executor: pull/steal scheduling, death
+//!   detection at chunk-pull boundaries, bounded-retry requeue of a dead
+//!   rank's work, and chunk-granular checkpoint/resume.
+
+pub mod elastic;
+pub mod fault;
+pub mod queue;
+
+pub use elastic::{
+    resume_elastic, run_elastic, unrecovered_total, ElasticCheckpoint, ElasticConfig, ElasticRun,
+    RecoveryCounters,
+};
+pub use fault::{FaultPlan, Kill, Stall, Straggler};
+pub use queue::{size_class_chunks, QueueSnapshot, TaskChunk, WorkQueue, DEFAULT_SIZE_CLASS_CAPS};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -91,6 +113,29 @@ impl GpuCluster {
     /// True while `rank` has not been killed.
     pub fn is_alive(&self, rank: usize) -> bool {
         !self.killed[rank].load(Ordering::Acquire)
+    }
+
+    /// Checkpoint-resume restore of a dead rank: marks it killed *and*
+    /// already-reported, so a resumed run neither re-runs its work nor fires
+    /// a duplicate `shard-dead` incident (the incident belongs to the run
+    /// that observed the death, before the checkpoint was taken).
+    pub fn restore_killed(&self, rank: usize) {
+        self.killed[rank].store(true, Ordering::Release);
+        self.dead_reported[rank].store(true, Ordering::Release);
+    }
+
+    /// Checkpoint-resume restore of the collective clock. Only meaningful on
+    /// a fresh cluster (it overwrites, not accumulates).
+    pub fn restore_sync_seconds(&self, seconds: f64) {
+        self.sync_seconds
+            .store(f64::to_bits(seconds), std::sync::atomic::Ordering::Release);
+    }
+
+    /// Per-rank simulated clocks, rank order (checkpointed by the elastic
+    /// executor; restore each via [`Gpu::add_host_seconds`] on a fresh
+    /// cluster).
+    pub fn rank_seconds(&self) -> Vec<f64> {
+        self.gpus.iter().map(|g| g.elapsed_seconds()).collect()
     }
 
     /// Detects killed ranks the way a real collective does — by their
@@ -215,6 +260,18 @@ mod tests {
         );
         let flat: Vec<i32> = shards.concat();
         assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_device_shard_is_the_identity_split() {
+        // Compat pin: single-device runs must see the whole batch, in
+        // order, as one shard — the elastic chunking layers above rely on
+        // this staying the degenerate case.
+        let c = GpuCluster::new(VEGA20, 1);
+        let items: Vec<usize> = (0..17).collect();
+        let shards = c.shard(&items);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], items);
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub mod resource;
 pub mod sanitize;
 pub mod smem;
 
-pub use cluster::GpuCluster;
+pub use cluster::{
+    resume_elastic, run_elastic, size_class_chunks, unrecovered_total, ElasticCheckpoint,
+    ElasticConfig, ElasticRun, FaultPlan, GpuCluster, QueueSnapshot, RecoveryCounters, TaskChunk,
+    WorkQueue, DEFAULT_SIZE_CLASS_CAPS,
+};
 pub use counters::{BlockCounters, LaunchStats, Timeline};
 pub use device::{DeviceSpec, A100, ALL_DEVICES, P100, TITAN_X, V100, VEGA20};
 pub use graph::{GraphStats, LaunchGraph};

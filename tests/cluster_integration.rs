@@ -1,0 +1,258 @@
+//! Integration tests of the elastic cluster executor (work stealing, fault
+//! injection, checkpoint/resume) driven through the public facade:
+//!
+//! * a killed-then-resumed analysis is **bit-identical** to the same killed
+//!   run left uninterrupted — weights, per-rank simulated clocks and
+//!   recovery counters — across three different kill times;
+//! * the serialized checkpoint of a partially converged W-cycle sweep
+//!   (per-level off-diagonal trackers included) survives a JSON round trip
+//!   losslessly (proptest over the full `RunCheckpoint` shape);
+//! * a rank killed *between* collectives is still detected — at the next
+//!   chunk-pull boundary — and its work requeued with identical numerics
+//!   (the PR 6 failover only noticed deaths at barriers).
+
+use proptest::prelude::*;
+
+use wcycle_svd::apps::assimilation::{
+    analysis_resume_elastic_with, analysis_step_elastic_with, AssimilationProblem, SvdEngine,
+};
+use wcycle_svd::core::{
+    ChunkPayload, ChunkRecord, ChunkState, CounterState, RankQueueState, RunCheckpoint,
+    SweepRecord, CHECKPOINT_VERSION,
+};
+use wcycle_svd::gpu::cluster::{ElasticConfig, FaultPlan};
+use wcycle_svd::gpu::{GpuCluster, VEGA20};
+use wcycle_svd::WCycleConfig;
+
+const SEED: u64 = 33;
+const RANKS: usize = 3;
+
+fn problem() -> AssimilationProblem {
+    AssimilationProblem::generate(10, 12, 32, SEED)
+}
+
+fn run(
+    p: &AssimilationProblem,
+    ecfg: &ElasticConfig,
+) -> (
+    wcycle_svd::apps::ElasticAnalysis,
+    Vec<f64>, // per-rank clocks
+    f64,      // cluster makespan
+) {
+    let cluster = GpuCluster::new(VEGA20, RANKS);
+    let out = analysis_step_elastic_with(
+        &cluster,
+        p,
+        SvdEngine::WCycle,
+        &WCycleConfig::default(),
+        ecfg,
+        SEED,
+    )
+    .unwrap();
+    (out, cluster.rank_seconds(), cluster.elapsed_seconds())
+}
+
+#[test]
+fn resume_is_bit_identical_to_straight_through_across_three_kill_points() {
+    let p = problem();
+    // Horizon from a clean run; kills land at 20/45/70% of it.
+    let (_, _, horizon) = run(&p, &ElasticConfig::default());
+    let mut requeues_seen = 0;
+    for (i, frac) in [0.2, 0.45, 0.7].into_iter().enumerate() {
+        let faults = FaultPlan::none().kill(1, frac * horizon);
+        let straight = run(
+            &p,
+            &ElasticConfig {
+                faults: faults.clone(),
+                checkpoint_after: None,
+            },
+        );
+        requeues_seen += straight.0.counters.requeued_chunks;
+        let interrupted = run(
+            &p,
+            &ElasticConfig {
+                faults: faults.clone(),
+                checkpoint_after: Some(2 + i),
+            },
+        );
+        let frozen = interrupted.0.checkpoint.expect("checkpoint requested");
+        // The W-cycle's partially converged sweep state rides along.
+        assert!(
+            frozen
+                .completed
+                .iter()
+                .all(|r| !r.payload.convergence.is_empty()),
+            "every completed chunk must carry its sweep trajectory"
+        );
+        let thawed = RunCheckpoint::from_json(&frozen.to_json()).unwrap();
+        let cluster = GpuCluster::new(VEGA20, RANKS);
+        let resumed = analysis_resume_elastic_with(
+            &cluster,
+            &p,
+            SvdEngine::WCycle,
+            &WCycleConfig::default(),
+            &ElasticConfig {
+                faults,
+                checkpoint_after: None,
+            },
+            thawed,
+        )
+        .unwrap();
+        assert_eq!(
+            straight.0.result.weights, resumed.result.weights,
+            "kill point {i}: weights must replay bit-identically"
+        );
+        for (rank, (a, b)) in straight.1.iter().zip(cluster.rank_seconds()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "kill point {i}: rank {rank} clock must replay exactly ({a} vs {b})"
+            );
+        }
+        assert_eq!(
+            straight.2.to_bits(),
+            cluster.elapsed_seconds().to_bits(),
+            "kill point {i}: makespan must replay exactly"
+        );
+        assert_eq!(
+            straight.0.counters, resumed.counters,
+            "kill point {i}: recovery counters must replay exactly"
+        );
+    }
+    assert!(
+        requeues_seen > 0,
+        "at least one kill point must actually interrupt queued work"
+    );
+}
+
+#[test]
+fn kill_between_collectives_is_recovered_with_identical_numerics() {
+    let p = problem();
+    let clean = run(&p, &ElasticConfig::default());
+    // The kill fires long before the run's only collective (the final
+    // gather): detection must happen at a chunk-pull boundary.
+    let sink = wsvd_health::HealthSink::enabled();
+    sink.set_context("cluster-integration", SEED);
+    let mut cluster = GpuCluster::new(VEGA20, RANKS);
+    cluster.set_health(sink.clone());
+    let killed = analysis_step_elastic_with(
+        &cluster,
+        &p,
+        SvdEngine::WCycle,
+        &WCycleConfig::default(),
+        &ElasticConfig {
+            faults: FaultPlan::none().kill(0, 1e-9),
+            checkpoint_after: None,
+        },
+        SEED,
+    )
+    .unwrap();
+    assert_eq!(
+        clean.0.result.weights, killed.result.weights,
+        "requeued work must reproduce the clean weights bit-identically"
+    );
+    assert!(killed.counters.requeued_chunks > 0);
+    assert_eq!(killed.counters.killed_ranks, 1);
+    let incidents = sink.incidents();
+    assert_eq!(incidents.len(), 1, "{incidents:?}");
+    assert_eq!(incidents[0].kind, "shard-dead");
+    assert!(
+        incidents[0].recovered,
+        "survivors absorbed the shard, so the incident must be marked recovered"
+    );
+}
+
+fn arb_sweeps() -> impl Strategy<Value = Vec<SweepRecord>> {
+    prop::collection::vec(
+        (0u64..6, 1u64..40, 0.0f64..10.0, 0u64..512).prop_map(
+            |(level, sweep, off_norm, active)| SweepRecord {
+                level,
+                sweep,
+                off_norm,
+                active,
+            },
+        ),
+        1..8,
+    )
+}
+
+fn arb_chunk() -> impl Strategy<Value = ChunkState> {
+    (
+        (0usize..64, prop::collection::vec(0usize..1024, 0..6)),
+        (0usize..6, 0usize..16, 0usize..4),
+    )
+        .prop_map(|((id, indices), (class, home_rank, retries))| ChunkState {
+            id,
+            indices,
+            // Exercise the overflow sentinel too: it must survive JSON.
+            size_class: if class == 5 { usize::MAX } else { 32 << class },
+            home_rank,
+            retries,
+            requeued: retries % 2 == 1,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Satellite 3: serialize → deserialize of the checkpointed W-cycle
+    /// sweep state is lossless. Serialization stability is checked as
+    /// `json(x) == json(parse(json(x)))`, which with the shim's
+    /// shortest-round-trip float rendering implies bit-exact `f64`s.
+    #[test]
+    fn checkpoint_json_round_trip_is_lossless(
+        workload_seed in any::<u64>(),
+        sweeps in arb_sweeps(),
+        weights in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 0..5), 0..4),
+        chunks in prop::collection::vec(arb_chunk(), 0..5),
+        rank_seconds in prop::collection::vec(0.0f64..2.0, 1..5),
+        sync_seconds in 0.0f64..1.0,
+        cursor in 0usize..8,
+        stolen in 0u64..9,
+        recovery_seconds in 0.0f64..1.0,
+    ) {
+        let n = rank_seconds.len();
+        let ckpt = RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            experiment: "proptest".to_string(),
+            workload_seed,
+            fingerprint: "vega20x3/proptest".to_string(),
+            completed: chunks
+                .iter()
+                .map(|c| ChunkRecord {
+                    chunk: c.clone(),
+                    payload: ChunkPayload {
+                        weights: weights.clone(),
+                        convergence: sweeps.clone(),
+                        widths: vec![64, 32, 16],
+                    },
+                })
+                .collect(),
+            queues: vec![
+                RankQueueState {
+                    chunks: chunks.clone(),
+                    cursor,
+                };
+                n
+            ],
+            pool: chunks.clone(),
+            rank_seconds,
+            sync_seconds,
+            killed: vec![false; n],
+            stalls_applied: vec![true],
+            kills_applied: vec![false],
+            counters: CounterState {
+                stolen_chunks: stolen,
+                requeued_chunks: stolen / 2,
+                retried_chunks: stolen / 3,
+                unrecovered_chunks: 0,
+                recovery_seconds,
+                checkpoint_bytes: 0,
+                killed_ranks: 1,
+            },
+        };
+        let json = ckpt.to_json();
+        let back = RunCheckpoint::from_json(&json).unwrap();
+        prop_assert_eq!(json, back.to_json());
+    }
+}
