@@ -1,0 +1,14 @@
+// Planted violation for the `no-partial-cmp-sort` lint: a NaN-unsafe
+// `partial_cmp` sort comparator. Not compiled — linted as a fixture with the
+// pretend path `crates/core/src/fixture.rs`.
+
+pub fn sort_descending(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+
+// The pragma'd variant below must stay silent: a documented, deliberate
+// partial order opts out with a reason.
+pub fn deliberate_partial(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    // wsvd-lint: allow(no-partial-cmp-sort) — None is the point here
+    a.partial_cmp(&b)
+}

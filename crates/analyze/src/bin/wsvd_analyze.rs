@@ -92,6 +92,11 @@ fn run_self_test(root: &Path) -> Result<(), String> {
         ),
         ("no-hashmap", "hashmap.rs", "crates/metrics/src/fixture.rs"),
         ("no-float-eq", "float_eq.rs", "crates/core/src/wcycle.rs"),
+        (
+            "no-partial-cmp-sort",
+            "partial_cmp.rs",
+            "crates/core/src/fixture.rs",
+        ),
     ];
     for (rule, file, pretend) in fixtures {
         let path = root.join("crates/analyze/fixtures").join(file);

@@ -24,6 +24,14 @@
 //!   tolerance decision by accident. Kernel zero-guards elsewhere (e.g.
 //!   `beta == 0.0` short-circuits in Householder) are deliberate exact
 //!   sentinel tests and stay out of scope.
+//! * **`no-partial-cmp-sort`** — no `partial_cmp` float orderings anywhere
+//!   in the workspace crates: `.partial_cmp(..).unwrap()` panics on NaN
+//!   (PR 1 fixed exactly this in `profile.rs`, then the pattern reappeared
+//!   in eight more sorting paths), and an `unwrap_or(Equal)` fallback makes
+//!   the order silently input-dependent. Use `total_cmp`, adding an
+//!   explicit tiebreak where equal keys must resolve deterministically. A
+//!   deliberate partial order carries a
+//!   `// wsvd-lint: allow(no-partial-cmp-sort)` pragma with its reason.
 //!
 //! Suppression: `// wsvd-lint: allow(<rule>)` on the finding's line, the
 //! line above it, or within the three lines above the enclosing `fn` header
@@ -59,7 +67,13 @@ impl fmt::Display for Finding {
 }
 
 /// Every rule identifier in the catalog.
-pub const RULES: [&str; 4] = ["sink-guard", "no-wall-clock", "no-hashmap", "no-float-eq"];
+pub const RULES: [&str; 5] = [
+    "sink-guard",
+    "no-wall-clock",
+    "no-hashmap",
+    "no-float-eq",
+    "no-partial-cmp-sort",
+];
 
 const SINK_RECEIVERS: [&str; 4] = ["trace", "metrics", "health", "sink"];
 const SINK_PRODUCERS: [&str; 14] = [
@@ -118,6 +132,14 @@ fn hashmap_scope(rel: &str) -> bool {
             || rel.starts_with("crates/health/"))
             && rel.contains("/src/")
             && rel.ends_with(".rs"))
+}
+
+/// Whether `no-partial-cmp-sort` applies: every workspace crate's source.
+/// The pattern is never load-bearing — all nine historical sites were
+/// orderings over finite floats where `total_cmp` is drop-in — so the scope
+/// is the whole tree rather than a hot-path allowlist.
+fn partial_cmp_scope(rel: &str) -> bool {
+    rel.ends_with(".rs") && rel.starts_with("crates/") && rel.contains("/src/")
 }
 
 /// Whether `no-float-eq` applies: convergence-decision code.
@@ -223,6 +245,26 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                     line: l,
                     message: "`HashMap` in registry/exposition code; iteration order must be \
                               deterministic — use `BTreeMap`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    if partial_cmp_scope(rel) {
+        for (idx, line) in masked_lines.iter().enumerate() {
+            let l = idx + 1;
+            if in_tests(l) || allowed("no-partial-cmp-sort", l) {
+                continue;
+            }
+            if has_word(line, "partial_cmp") {
+                findings.push(Finding {
+                    rule: "no-partial-cmp-sort",
+                    file: rel.to_string(),
+                    line: l,
+                    message: "`partial_cmp` float ordering is NaN-unsafe (panics on unwrap, or \
+                              silently reorders under unwrap_or); use `total_cmp` with an \
+                              explicit deterministic tiebreak"
                         .to_string(),
                 });
             }
@@ -468,6 +510,32 @@ mod tests {
             "fn f(b: f64) { b == 0.0; }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_fires_everywhere_in_crate_sources() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        for rel in [
+            "crates/jacobi/src/evd.rs",
+            "crates/serve/src/server.rs",
+            "crates/bench/src/metrics_report.rs",
+        ] {
+            let f = lint_source(rel, src);
+            assert_eq!(f.len(), 1, "{rel}");
+            assert_eq!(f[0].rule, "no-partial-cmp-sort");
+            assert_eq!(f[0].line, 2);
+        }
+        // total_cmp is the fix, and pragmas opt a deliberate partial order out.
+        assert!(lint_source(
+            "crates/jacobi/src/evd.rs",
+            "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n"
+        )
+        .is_empty());
+        let pragma = "fn f(a: f64, b: f64) {\n    // wsvd-lint: allow(no-partial-cmp-sort) — \
+                      deliberate partial order\n    let _ = a.partial_cmp(&b);\n}\n";
+        assert!(lint_source("crates/jacobi/src/evd.rs", pragma).is_empty());
+        // Out of crate sources (root tests, binaries outside src/) stays silent.
+        assert!(lint_source("tests/serve_integration.rs", src).is_empty());
     }
 
     #[test]

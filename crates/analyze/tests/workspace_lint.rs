@@ -57,6 +57,7 @@ fn every_rule_has_a_firing_fixture() {
         lint_fixture("wall_clock.rs", "crates/core/src/fixture.rs"),
         lint_fixture("hashmap.rs", "crates/metrics/src/fixture.rs"),
         lint_fixture("float_eq.rs", "crates/core/src/wcycle.rs"),
+        lint_fixture("partial_cmp.rs", "crates/core/src/fixture.rs"),
     ]
     .iter()
     .flat_map(|fs| fs.iter().map(|f| f.rule))
@@ -64,6 +65,14 @@ fn every_rule_has_a_firing_fixture() {
     for rule in RULES {
         assert!(fired.contains(&rule), "no fixture exercises `{rule}`");
     }
+}
+
+#[test]
+fn partial_cmp_fires_on_fixture() {
+    let f = lint_fixture("partial_cmp.rs", "crates/core/src/fixture.rs");
+    // Exactly the planted sort comparator, not the pragma'd partial order.
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "no-partial-cmp-sort");
 }
 
 #[test]

@@ -62,6 +62,26 @@ impl AssimilationProblem {
     }
 }
 
+/// The per-point matrix dimensions of the §V-F mixture **without**
+/// materializing the matrices: replays the exact RNG stream of
+/// [`AssimilationProblem::generate`] (one log-uniform dimension draw plus
+/// `dim` innovation draws per point), so the serve layer can build arrival
+/// traces over the same observation-density mixture the assimilation
+/// experiments solve, at zero allocation cost.
+pub fn mixture_dims(points: usize, min_dim: usize, max_dim: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..points)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let dim = (min_dim as f64 * (max_dim as f64 / min_dim as f64).powf(u)).round() as usize;
+            for _ in 0..dim {
+                let _: f64 = rng.gen_range(-1.0..1.0);
+            }
+            dim
+        })
+        .collect()
+}
+
 /// The analysis result: per-grid-point weight vectors `w_k = V g` where
 /// `g_i = σ_i / (σ_i^2 + 1) · (U^T d)_i`.
 #[derive(Debug)]
@@ -478,6 +498,14 @@ mod tests {
             assert!(s.rows() >= 10 && s.rows() <= 40);
             assert_eq!(d.len(), s.rows());
         }
+    }
+
+    #[test]
+    fn mixture_dims_match_the_generated_problem() {
+        let dims = mixture_dims(12, 10, 40, 3);
+        let p = AssimilationProblem::generate(12, 10, 40, 3);
+        let got: Vec<usize> = p.anomalies.iter().map(|a| a.rows()).collect();
+        assert_eq!(dims, got);
     }
 
     #[test]

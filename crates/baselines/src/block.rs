@@ -321,7 +321,7 @@ fn extract(conv: &Matrix, v: Option<Matrix>) -> (Matrix, Vec<f64>, Option<Matrix
     let (m, n) = conv.shape();
     let norms: Vec<f64> = (0..n).map(|j| dot(conv.col(j), conv.col(j))).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
+    order.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]));
     let r = m.min(n);
     let mut u = Matrix::zeros(m, r);
     let mut sigma = Vec::with_capacity(r);

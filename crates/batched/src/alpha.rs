@@ -85,7 +85,7 @@ impl DecisionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
         for feature in 0..2 {
             let mut values: Vec<f64> = samples.iter().map(|s| feat(s, feature)).collect();
-            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.sort_by(|a, b| a.total_cmp(b));
             values.dedup();
             for w in values.windows(2) {
                 let threshold = (w[0] + w[1]) / 2.0;

@@ -25,3 +25,28 @@ pub use gemm::{
     verify_tailor_assignment, GemmStrategy, Segment, GEMM_SMEM_BYTES,
 };
 pub use models::{ai_gram, ai_update, tlp, TailorPlan};
+
+/// The Table-VI-style size class of an `rows x cols` matrix against an
+/// ascending list of caps: the index of the smallest cap both dimensions
+/// fit under, or `None` when the matrix exceeds every cap (the serve layer
+/// rejects such requests rather than silently oversizing a bucket).
+pub fn size_class(rows: usize, cols: usize, caps: &[usize]) -> Option<usize> {
+    let d = rows.max(cols);
+    caps.iter().position(|&c| d <= c)
+}
+
+#[cfg(test)]
+mod size_class_tests {
+    use super::size_class;
+
+    #[test]
+    fn classifies_by_larger_dimension_against_ascending_caps() {
+        let caps = [32, 64, 128, 256, 512];
+        assert_eq!(size_class(10, 30, &caps), Some(0));
+        assert_eq!(size_class(33, 8, &caps), Some(1));
+        assert_eq!(size_class(64, 64, &caps), Some(1));
+        assert_eq!(size_class(512, 1, &caps), Some(4));
+        assert_eq!(size_class(513, 1, &caps), None);
+        assert_eq!(size_class(4, 4, &[]), None);
+    }
+}

@@ -179,7 +179,11 @@ pub fn ext_profile(scale: Scale) -> Report {
         "the EVD/SVD rotation kernels dominate; GEMMs carry the GM traffic",
     );
     let mut rows: Vec<_> = profile.iter().collect();
-    rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+    rows.sort_by(|a, b| {
+        b.1.seconds
+            .total_cmp(&a.1.seconds)
+            .then_with(|| a.0.cmp(b.0))
+    });
     for (label, k) in rows {
         rep.push_row(vec![
             label.to_string(),

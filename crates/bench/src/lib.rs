@@ -15,6 +15,7 @@ pub mod exp_cluster;
 pub mod exp_extensions;
 pub mod exp_health;
 pub mod exp_kernels;
+pub mod exp_serve;
 pub mod exp_tailoring;
 pub mod metrics_report;
 pub mod report;
@@ -61,5 +62,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-certify", exp_extensions::ext_certify),
         ("ext-health", exp_health::ext_health),
         ("ext-cluster", exp_cluster::ext_cluster),
+        ("ext-serve", exp_serve::ext_serve),
     ]
 }

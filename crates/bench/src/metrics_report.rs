@@ -91,8 +91,7 @@ pub fn kernel_rows(snap: &Snapshot, experiment: &str) -> Vec<KernelRow> {
     }
     rows.sort_by(|a, b| {
         b.seconds
-            .partial_cmp(&a.seconds)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.seconds)
             .then_with(|| a.kernel.cmp(&b.kernel))
     });
     rows

@@ -988,7 +988,7 @@ fn dynamic_schedule(task: &Matrix, parts: &[(usize, usize)]) -> Vec<Vec<(usize, 
             weighted.push((s.sqrt() / (norms[i] * norms[j]), i, j));
         }
     }
-    weighted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    weighted.sort_by(|a, b| b.0.total_cmp(&a.0));
     // Greedy packing into steps of disjoint pairs.
     let mut steps: Vec<Vec<(usize, usize)>> = Vec::new();
     let mut used: Vec<Vec<bool>> = Vec::new();
@@ -1118,7 +1118,7 @@ fn sigma_order(conv: &Matrix) -> Vec<usize> {
     let n = conv.cols();
     let norms: Vec<f64> = (0..n).map(|j| dot(conv.col(j), conv.col(j))).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
+    order.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]));
     order
 }
 

@@ -229,16 +229,20 @@ fn drive<T>(
         if queue.total_remaining() == 0 {
             break;
         }
-        // The alive rank with the smallest clock pulls next (lowest rank on
-        // ties) — the discrete-event step of the simulated schedule.
+        // The alive rank with the smallest clock pulls next, lowest rank on
+        // ties — the discrete-event step of the simulated schedule. The
+        // comparison is `total_cmp` with an explicit rank-index tiebreak:
+        // `partial_cmp` would make the victim of a NaN-poisoned clock (or a
+        // tie under a future unstable selection) silently arbitrary, and the
+        // pull order is exactly what checkpoint/resume bit-identity replays.
         let Some(rank) = (0..cluster.len())
             .filter(|&r| cluster.is_alive(r))
             .min_by(|&a, &b| {
                 cluster
                     .gpu(a)
                     .elapsed_seconds()
-                    .partial_cmp(&cluster.gpu(b).elapsed_seconds())
-                    .expect("simulated clocks are finite")
+                    .total_cmp(&cluster.gpu(b).elapsed_seconds())
+                    .then_with(|| a.cmp(&b))
             })
         else {
             // The error path drops `counters` with the run; the abandoned
@@ -494,6 +498,36 @@ mod tests {
                 "rank {r} clock must be bit-identical to the static schedule"
             );
         }
+    }
+
+    #[test]
+    fn tied_clocks_pull_in_rank_order_deterministically() {
+        // At the first pull every clock reads exactly 0.0 — a three-way tie.
+        // The selection must break ties by rank index: ranks 0, 1, 2 pull
+        // their first home chunks in that order, and the whole schedule
+        // (completion order and per-rank clocks) replays bit-identically.
+        let run_once = || {
+            let cl = GpuCluster::new(VEGA20, 3);
+            let run = run_elastic(&cl, chunks(9, 3, 1), &ElasticConfig::default(), work).unwrap();
+            let clocks: Vec<u64> = (0..3)
+                .map(|r| cl.gpu(r).elapsed_seconds().to_bits())
+                .collect();
+            let order: Vec<usize> = run.completed.iter().map(|(c, _)| c.id).collect();
+            (order, clocks, run)
+        };
+        let (order_a, clocks_a, run_a) = run_once();
+        let first_pullers: Vec<usize> = run_a.completed[..3]
+            .iter()
+            .map(|(c, _)| c.home_rank)
+            .collect();
+        assert_eq!(
+            first_pullers,
+            vec![0, 1, 2],
+            "tied clocks must resolve to the lowest rank first"
+        );
+        let (order_b, clocks_b, _) = run_once();
+        assert_eq!(order_a, order_b, "completion order must be deterministic");
+        assert_eq!(clocks_a, clocks_b, "per-rank clocks must replay exactly");
     }
 
     #[test]

@@ -130,7 +130,7 @@ pub fn evd_in_block(
     // Extract and sort eigenvalues (descending), permuting J to match.
     let mut lambda: Vec<f64> = work.diag();
     let mut order: Vec<usize> = (0..s).collect();
-    order.sort_by(|&x, &y| lambda[y].partial_cmp(&lambda[x]).unwrap());
+    order.sort_by(|&x, &y| lambda[y].total_cmp(&lambda[x]));
     let lambda_sorted: Vec<f64> = order.iter().map(|&i| lambda[i]).collect();
     let mut jp = Matrix::zeros(s, s);
     for (k, &i) in order.iter().enumerate() {

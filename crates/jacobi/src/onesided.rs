@@ -348,7 +348,7 @@ fn extract_factors(
     let sig: Vec<f64> = (0..n)
         .map(|j| dot(conv.col(j), conv.col(j)).sqrt())
         .collect();
-    order.sort_by(|&x, &y| sig[y].partial_cmp(&sig[x]).unwrap());
+    order.sort_by(|&x, &y| sig[y].total_cmp(&sig[x]));
 
     let r = m.min(n);
     let mut u = Matrix::zeros(m, r);

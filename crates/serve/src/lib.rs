@@ -1,0 +1,47 @@
+//! # wsvd-serve
+//!
+//! An online batched-SVD service over the simulator: the paper's Table VI
+//! size-class grouping turned into an *admission batching policy* under
+//! open-loop load (ROADMAP item 1, the "millions of users" north star made
+//! concrete).
+//!
+//! A [`traffic::Trace`] is a seeded stream of mixed-size SVD requests
+//! (Poisson arrivals, bursty on/off traces, or the §V-F ocean-assimilation
+//! mixture from `wsvd-apps`). The [`server`] drives a deterministic
+//! event loop over *simulated microseconds*: each arriving request is
+//! admitted into its Table-VI size-class bucket by the [`batcher`], a bucket
+//! dispatches when it fills to the policy's `max_batch` or when its oldest
+//! request has waited `max_wait_us`, and every dispatched bucket runs as one
+//! batched W-cycle SVD through the fused `LaunchGraph` + warm `PlanCache`
+//! path. Asynchrony here is *event-driven*, not thread-driven: the loop
+//! interleaves arrivals, deadlines and device completions on the simulated
+//! clock, so every trace replays bit-identically for a given seed.
+//!
+//! Latency accounting is definitional: for each request,
+//! `queue_delay = batch_start - arrival`, `service` is the simulated
+//! duration of its bucket's batched SVD, and
+//! `end_to_end = queue_delay + service` — the integration suite asserts the
+//! identity at the bit level. Per-request latencies feed fixed-bucket
+//! histograms in the deterministic metrics registry (`wsvd-metrics`), from
+//! which p50/p99 are derived by rank-based quantiles and exposed, along
+//! with SLO violation counters, through the existing Prometheus exposition.
+//!
+//! The `wsvd-loadgen` binary (`src/bin/loadgen.rs`) is the operator's view:
+//! it generates traces, runs the server, prints per-trace latency and
+//! throughput summaries, and exits non-zero when a `--slo-p99-us` target is
+//! violated — CI's `Serve smoke` step. The `ext-serve` experiment in
+//! `wsvd-bench` commits the batching-policy tradeoff curve (wait longer →
+//! bigger buckets → higher throughput, worse p99) as a diffable artifact.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod server;
+pub mod traffic;
+
+pub use batcher::{Admission, Admit, BatchPolicy, Pending};
+pub use server::{
+    latency_bounds, serve_trace, summarize, BatchRecord, BatchTrigger, RequestRecord, ServeConfig,
+    ServeOutcome, ServeSummary,
+};
+pub use traffic::{Request, Trace};

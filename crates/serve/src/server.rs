@@ -1,0 +1,459 @@
+//! The deterministic serving loop and its latency accounting.
+//!
+//! [`serve_trace`] interleaves three event sources on the simulated clock —
+//! request arrivals, bucket deadlines, and device completions — into one
+//! total order: at each step the earliest pending event fires, with bucket
+//! deadlines beating arrivals at the same timestamp (a request arriving
+//! exactly at a bucket's deadline joins the *next* bucket) and tied
+//! deadlines resolving by ascending size class. Dispatched buckets run as a
+//! single batched W-cycle SVD on the device; the device serves buckets
+//! FIFO in trigger order, so a bucket triggered while the device is busy
+//! starts at `free_at`.
+//!
+//! Latency accounting (DESIGN.md §14): per request,
+//! `queue_delay = batch_start − arrival` (admission wait plus any device
+//! backlog), `service` = the simulated duration of its bucket's batched
+//! SVD, and `end_to_end = queue_delay + service` *by definition* — the
+//! property suite asserts the identity bitwise. All three feed fixed-bucket
+//! log-spaced histograms ([`latency_bounds`]) in the metrics registry, and
+//! p50/p99 come from [`wsvd_metrics::Histogram::quantile`] — rank-based and
+//! exact at bucket resolution, so repeated seeded runs report identical
+//! quantiles.
+
+use wsvd_core::{wcycle_svd, WCycleConfig};
+use wsvd_gpu_sim::{Gpu, KernelError};
+use wsvd_linalg::generate::random_uniform;
+use wsvd_linalg::Matrix;
+use wsvd_metrics::{MetricsSink, Snapshot};
+
+use crate::batcher::{Admission, Admit, BatchPolicy, Pending};
+use crate::traffic::Trace;
+
+/// Server configuration: the admission policy plus the SLO target the
+/// violation counter is scored against.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Admission batching policy.
+    pub policy: BatchPolicy,
+    /// End-to-end latency SLO in simulated microseconds; every request
+    /// whose `end_to_end_us` exceeds it increments `slo_violations`.
+    pub slo_e2e_us: f64,
+    /// Dispatch buckets through the fused [`wsvd_gpu_sim::LaunchGraph`]
+    /// path (the service default; off reproduces the serial launch path).
+    pub fused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: BatchPolicy::high_throughput(),
+            slo_e2e_us: 1.0e6,
+            fused: true,
+        }
+    }
+}
+
+/// Why a bucket dispatched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchTrigger {
+    /// The bucket filled to the policy's effective cap.
+    Full,
+    /// The oldest request in the bucket hit `max_wait_us` (this is also how
+    /// the tail of a trace drains: with no arrivals left, every remaining
+    /// bucket eventually fires its deadline).
+    Deadline,
+}
+
+/// One dispatched bucket.
+#[derive(Clone, Debug)]
+pub struct BatchRecord {
+    /// Dispatch order (0-based).
+    pub batch_id: usize,
+    /// Table VI size class of every member.
+    pub class: usize,
+    /// Member count.
+    pub len: usize,
+    /// What fired the dispatch.
+    pub trigger: BatchTrigger,
+    /// Simulated microseconds the trigger fired at.
+    pub trigger_us: u64,
+    /// Simulated microseconds the batched SVD started on the device
+    /// (`max(trigger_us, device free_at)`).
+    pub start_us: f64,
+    /// Simulated microseconds the batched SVD took.
+    pub service_us: f64,
+}
+
+/// One served request's latency record.
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Trace id.
+    pub id: usize,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Table VI size class.
+    pub class: usize,
+    /// The bucket that served it.
+    pub batch_id: usize,
+    /// Arrival time in simulated microseconds.
+    pub arrival_us: u64,
+    /// Admission wait plus device backlog: `batch start − arrival`.
+    pub queue_delay_us: f64,
+    /// Simulated duration of the bucket's batched SVD.
+    pub service_us: f64,
+    /// `queue_delay_us + service_us`, definitionally.
+    pub end_to_end_us: f64,
+}
+
+/// The full outcome of serving one trace.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOutcome {
+    /// Per-request latency records, in completion (batch-dispatch) order.
+    pub records: Vec<RequestRecord>,
+    /// Per-bucket dispatch records, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Requests refused at admission (dimensions above every Table VI cap).
+    pub rejected: usize,
+    /// Simulated microseconds from time zero until the device finished the
+    /// last bucket (0 when nothing dispatched).
+    pub makespan_us: f64,
+    /// Total simulated microseconds the device spent serving buckets (the
+    /// sum of every batch's `service_us`).
+    pub busy_us: f64,
+}
+
+/// Log-spaced latency bucket bounds in microseconds: 1 µs up to ~20 s in
+/// ×1.25 steps. Shared by every serve histogram so snapshots from
+/// different runs and policies stay comparable, with ≤25 % quantile
+/// resolution across the whole range.
+pub fn latency_bounds() -> Vec<f64> {
+    let mut bounds = Vec::new();
+    let mut b = 1.0f64;
+    while b < 2.0e7 {
+        bounds.push(b);
+        b *= 1.25;
+    }
+    bounds
+}
+
+/// Serves one trace to completion and returns every latency record.
+///
+/// Deterministic end to end: the event order is a pure function of the
+/// trace and the policy, and the batched SVDs run on the simulated device —
+/// identical seeds replay byte-identical outcomes and histograms. The sink
+/// only observes (it never steers), so a disabled sink yields the same
+/// records with no registry traffic.
+pub fn serve_trace(
+    gpu: &Gpu,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    sink: &MetricsSink,
+) -> Result<ServeOutcome, KernelError> {
+    let wcfg = WCycleConfig {
+        fused: cfg.fused,
+        ..WCycleConfig::default()
+    };
+    let mut adm = Admission::new(cfg.policy);
+    let mut out = ServeOutcome::default();
+    let mut free_at_us = 0.0f64;
+    let mut next = 0usize;
+
+    // One batched SVD per bucket; the device serves buckets FIFO in
+    // trigger order.
+    let dispatch = |adm: &mut Admission,
+                    out: &mut ServeOutcome,
+                    free_at_us: &mut f64,
+                    class: usize,
+                    trigger_us: u64,
+                    trigger: BatchTrigger|
+     -> Result<(), KernelError> {
+        let members = adm.take(class);
+        debug_assert!(!members.is_empty(), "dispatch of an empty bucket");
+        let mats: Vec<Matrix> = members
+            .iter()
+            .map(|p| random_uniform(p.rows, p.cols, p.data_seed))
+            .collect();
+        let start_us = (trigger_us as f64).max(*free_at_us);
+        let before = gpu.elapsed_seconds();
+        wcycle_svd(gpu, &mats, &wcfg)?;
+        let service_us = (gpu.elapsed_seconds() - before) * 1.0e6;
+        *free_at_us = start_us + service_us;
+        out.busy_us += service_us;
+        let batch_id = out.batches.len();
+        out.batches.push(BatchRecord {
+            batch_id,
+            class,
+            len: members.len(),
+            trigger,
+            trigger_us,
+            start_us,
+            service_us,
+        });
+        for p in members {
+            let queue_delay_us = start_us - p.arrival_us as f64;
+            let end_to_end_us = queue_delay_us + service_us;
+            record_request(sink, class, queue_delay_us, service_us, end_to_end_us, cfg);
+            out.records.push(RequestRecord {
+                id: p.id,
+                rows: p.rows,
+                cols: p.cols,
+                class,
+                batch_id,
+                arrival_us: p.arrival_us,
+                queue_delay_us,
+                service_us,
+                end_to_end_us,
+            });
+        }
+        Ok(())
+    };
+
+    loop {
+        let arrival = trace.requests.get(next);
+        let deadline = adm.next_deadline();
+        match (arrival, deadline) {
+            // Deadlines beat arrivals at the same timestamp: a request
+            // arriving exactly at a bucket's deadline joins the next bucket.
+            (Some(req), Some((d, class))) if d <= req.arrival_us => {
+                dispatch(
+                    &mut adm,
+                    &mut out,
+                    &mut free_at_us,
+                    class,
+                    d,
+                    BatchTrigger::Deadline,
+                )?;
+            }
+            (Some(req), _) => {
+                next += 1;
+                match adm.admit(Pending {
+                    id: req.id,
+                    arrival_us: req.arrival_us,
+                    rows: req.rows,
+                    cols: req.cols,
+                    data_seed: req.data_seed,
+                }) {
+                    Admit::Full(class) => dispatch(
+                        &mut adm,
+                        &mut out,
+                        &mut free_at_us,
+                        class,
+                        req.arrival_us,
+                        BatchTrigger::Full,
+                    )?,
+                    Admit::Queued(_) => {}
+                    Admit::Rejected => {
+                        out.rejected += 1;
+                        if sink.is_enabled() {
+                            sink.counter_add("serve", None, "rejected", 1.0);
+                        }
+                    }
+                }
+            }
+            (None, Some((d, class))) => {
+                dispatch(
+                    &mut adm,
+                    &mut out,
+                    &mut free_at_us,
+                    class,
+                    d,
+                    BatchTrigger::Deadline,
+                )?;
+            }
+            (None, None) => break,
+        }
+    }
+    out.makespan_us = free_at_us;
+    if sink.is_enabled() {
+        sink.counter_add("serve", None, "batches", out.batches.len() as f64);
+        sink.gauge_set("serve", None, "makespan_us", out.makespan_us);
+    }
+    Ok(out)
+}
+
+/// Records one served request into the registry (kernel `serve`, level =
+/// size class for the per-class counters, aggregate histograms unleveled).
+fn record_request(
+    sink: &MetricsSink,
+    class: usize,
+    queue_delay_us: f64,
+    service_us: f64,
+    end_to_end_us: f64,
+    cfg: &ServeConfig,
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let bounds = latency_bounds();
+    sink.observe("serve", None, "queue_delay_us", &bounds, queue_delay_us);
+    sink.observe("serve", None, "service_us", &bounds, service_us);
+    sink.observe("serve", None, "e2e_us", &bounds, end_to_end_us);
+    sink.counter_add("serve", Some(class), "requests", 1.0);
+    if end_to_end_us > cfg.slo_e2e_us {
+        sink.counter_add("serve", None, "slo_violations", 1.0);
+    }
+}
+
+/// The operator-facing summary of one served trace, derived from the
+/// metrics registry (quantiles are rank-based bucket bounds — see
+/// [`wsvd_metrics::Histogram::quantile`]) plus the outcome's makespan.
+/// Requires the snapshot of an **enabled** sink; every latency field is 0
+/// for an empty snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeSummary {
+    /// Requests served.
+    pub requests: u64,
+    /// Buckets dispatched.
+    pub batches: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Median end-to-end latency (µs, bucket-bound resolution).
+    pub p50_e2e_us: f64,
+    /// 99th-percentile end-to-end latency (µs, bucket-bound resolution).
+    pub p99_e2e_us: f64,
+    /// Mean admission + backlog wait (µs).
+    pub mean_queue_us: f64,
+    /// Mean batched-SVD service time (µs).
+    pub mean_service_us: f64,
+    /// Sustained throughput: served requests divided by total device busy
+    /// time (requests/second). This is the device-limited rate the policy
+    /// sustains at saturation — unlike `requests / makespan`, it is not
+    /// distorted by the final `max_wait_us` drain of a short committed
+    /// trace (see DESIGN.md §14).
+    pub throughput_rps: f64,
+    /// Requests whose end-to-end latency exceeded the SLO target.
+    pub slo_violations: u64,
+}
+
+/// Builds the summary for `experiment` from a registry snapshot and the
+/// serve outcome.
+pub fn summarize(snapshot: &Snapshot, experiment: &str, outcome: &ServeOutcome) -> ServeSummary {
+    let e2e = snapshot.histogram(experiment, "serve", None, "e2e_us");
+    let queue = snapshot.histogram(experiment, "serve", None, "queue_delay_us");
+    let service = snapshot.histogram(experiment, "serve", None, "service_us");
+    let requests = outcome.records.len() as u64;
+    let throughput_rps = if outcome.busy_us > 0.0 {
+        requests as f64 / (outcome.busy_us / 1.0e6)
+    } else {
+        0.0
+    };
+    ServeSummary {
+        requests,
+        batches: outcome.batches.len() as u64,
+        rejected: outcome.rejected as u64,
+        p50_e2e_us: e2e.and_then(|h| h.quantile(0.5)).unwrap_or(0.0),
+        p99_e2e_us: e2e.and_then(|h| h.quantile(0.99)).unwrap_or(0.0),
+        mean_queue_us: queue.map(|h| h.mean()).unwrap_or(0.0),
+        mean_service_us: service.map(|h| h.mean()).unwrap_or(0.0),
+        throughput_rps,
+        slo_violations: snapshot.counter(experiment, "serve", None, "slo_violations") as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsvd_gpu_sim::V100;
+
+    fn small_trace(seed: u64) -> Trace {
+        Trace::poisson(12, 4000.0, (6, 30), seed)
+    }
+
+    #[test]
+    fn serves_every_accepted_request_exactly_once() {
+        let gpu = Gpu::new(V100);
+        let cfg = ServeConfig::default();
+        let out = serve_trace(&gpu, &small_trace(3), &cfg, &MetricsSink::disabled()).unwrap();
+        assert_eq!(out.records.len() + out.rejected, 12);
+        let mut ids: Vec<usize> = out.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.records.len(), "a request served twice");
+        let batched: usize = out.batches.iter().map(|b| b.len).sum();
+        assert_eq!(batched, out.records.len());
+    }
+
+    #[test]
+    fn end_to_end_is_queue_plus_service_bitwise() {
+        let gpu = Gpu::new(V100);
+        let cfg = ServeConfig {
+            policy: BatchPolicy::low_latency(),
+            ..ServeConfig::default()
+        };
+        let out = serve_trace(&gpu, &small_trace(5), &cfg, &MetricsSink::disabled()).unwrap();
+        for r in &out.records {
+            assert_eq!(
+                (r.queue_delay_us + r.service_us).to_bits(),
+                r.end_to_end_us.to_bits()
+            );
+            assert!(r.queue_delay_us >= 0.0, "negative queue delay: {r:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_and_counted() {
+        let gpu = Gpu::new(V100);
+        let mut trace = small_trace(7);
+        trace.requests[0].rows = 4096;
+        trace.requests[0].cols = 4096;
+        let sink = MetricsSink::enabled();
+        sink.set_experiment("t");
+        let out = serve_trace(&gpu, &trace, &ServeConfig::default(), &sink).unwrap();
+        assert_eq!(out.rejected, 1);
+        assert_eq!(out.records.len(), 11);
+        assert_eq!(sink.snapshot().counter("t", "serve", None, "rejected"), 1.0);
+    }
+
+    #[test]
+    fn summary_quantiles_come_from_the_registry() {
+        let gpu = Gpu::new(V100);
+        let sink = MetricsSink::enabled();
+        sink.set_experiment("t");
+        let cfg = ServeConfig {
+            slo_e2e_us: 0.0, // everything violates: the counter must track
+            ..ServeConfig::default()
+        };
+        let out = serve_trace(&gpu, &small_trace(9), &cfg, &sink).unwrap();
+        let summary = summarize(&sink.snapshot(), "t", &out);
+        assert_eq!(summary.requests, out.records.len() as u64);
+        assert_eq!(summary.slo_violations, summary.requests);
+        assert!(summary.p50_e2e_us > 0.0);
+        assert!(summary.p99_e2e_us >= summary.p50_e2e_us);
+        assert!(summary.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_replay_byte_identical_histograms() {
+        let run = || {
+            let gpu = Gpu::new(V100);
+            let sink = MetricsSink::enabled();
+            sink.set_experiment("t");
+            serve_trace(&gpu, &small_trace(11), &ServeConfig::default(), &sink).unwrap();
+            sink.snapshot().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tighter_wait_bound_dispatches_more_smaller_buckets() {
+        let trace = Trace::poisson(24, 8000.0, (6, 30), 13);
+        let run = |policy: BatchPolicy| {
+            let gpu = Gpu::new(V100);
+            let cfg = ServeConfig {
+                policy,
+                ..ServeConfig::default()
+            };
+            serve_trace(&gpu, &trace, &cfg, &MetricsSink::disabled()).unwrap()
+        };
+        let eager = run(BatchPolicy::low_latency());
+        let patient = run(BatchPolicy::high_throughput());
+        assert!(
+            eager.batches.len() >= patient.batches.len(),
+            "eager {} vs patient {}",
+            eager.batches.len(),
+            patient.batches.len()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Seeded arrival traces: open-loop request streams over simulated time.
+//!
+//! Every generator is a pure function of its parameters and seed — a trace
+//! replays bit-identically, which is what makes the serve layer's latency
+//! histograms committable artifacts. Arrival timestamps are integer
+//! simulated microseconds; matrix payloads are *not* materialized here
+//! (each request carries its dimensions plus a data seed, and the server
+//! generates the entries only when the request's bucket dispatches).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsvd_apps::assimilation::mixture_dims;
+
+/// One SVD request in a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Position in the trace (unique, ascending).
+    pub id: usize,
+    /// Arrival time in simulated microseconds.
+    pub arrival_us: u64,
+    /// Requested matrix rows.
+    pub rows: usize,
+    /// Requested matrix columns.
+    pub cols: usize,
+    /// Seed the server uses to generate the matrix entries at dispatch.
+    pub data_seed: u64,
+}
+
+/// A named, seeded stream of requests sorted by arrival time.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Trace label (`poisson`, `bursty`, `assimilation`).
+    pub name: String,
+    /// Requests in nondecreasing `arrival_us` order.
+    pub requests: Vec<Request>,
+}
+
+/// Exponential inter-arrival gap for a Poisson process of `rate_hz`,
+/// rounded up to whole simulated microseconds (so equal-rate traces never
+/// collapse to zero-width gaps unless the rate is extreme).
+fn poisson_gap_us(rng: &mut StdRng, rate_hz: f64) -> u64 {
+    let u: f64 = rng.gen();
+    (-(1.0 - u).ln() / rate_hz * 1.0e6).ceil() as u64
+}
+
+/// A log-uniform dimension draw in `[min_dim, max_dim]` (the same skew the
+/// dataset and assimilation generators use).
+fn log_uniform_dim(rng: &mut StdRng, min_dim: usize, max_dim: usize) -> usize {
+    let u: f64 = rng.gen();
+    (min_dim as f64 * (max_dim as f64 / min_dim as f64).powf(u)).round() as usize
+}
+
+impl Trace {
+    /// A Poisson stream: exponential inter-arrivals at `rate_hz`, square
+    /// matrix dimensions drawn log-uniformly in `dims = (min, max)`.
+    pub fn poisson(requests: usize, rate_hz: f64, dims: (usize, usize), seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0u64;
+        let requests = (0..requests)
+            .map(|id| {
+                t += poisson_gap_us(&mut rng, rate_hz);
+                let d = log_uniform_dim(&mut rng, dims.0, dims.1);
+                Request {
+                    id,
+                    arrival_us: t,
+                    rows: d,
+                    cols: d,
+                    data_seed: seed.wrapping_add(1009 + id as u64),
+                }
+            })
+            .collect();
+        Trace {
+            name: "poisson".to_string(),
+            requests,
+        }
+    }
+
+    /// An on/off bursty stream: bursts of `burst` requests arriving at
+    /// `rate_hz`, separated by `gap_us` of silence. Stresses the admission
+    /// policy's deadline path (buckets that fill mid-burst dispatch full;
+    /// burst tails ride the `max_wait_us` timer).
+    pub fn bursty(
+        requests: usize,
+        burst: usize,
+        rate_hz: f64,
+        gap_us: u64,
+        dims: (usize, usize),
+        seed: u64,
+    ) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B5);
+        let mut t = 0u64;
+        let burst = burst.max(1);
+        let requests = (0..requests)
+            .map(|id| {
+                if id > 0 && id % burst == 0 {
+                    t += gap_us;
+                }
+                t += poisson_gap_us(&mut rng, rate_hz);
+                let d = log_uniform_dim(&mut rng, dims.0, dims.1);
+                Request {
+                    id,
+                    arrival_us: t,
+                    rows: d,
+                    cols: d,
+                    data_seed: seed.wrapping_add(2017 + id as u64),
+                }
+            })
+            .collect();
+        Trace {
+            name: "bursty".to_string(),
+            requests,
+        }
+    }
+
+    /// The ocean-assimilation mixture of §V-F: matrix dimensions replay the
+    /// observation-density draw of `wsvd_apps`'s grid generator
+    /// ([`mixture_dims`]), arrivals are Poisson at `rate_hz`.
+    pub fn assimilation(
+        points: usize,
+        min_dim: usize,
+        max_dim: usize,
+        rate_hz: f64,
+        seed: u64,
+    ) -> Trace {
+        let dims = mixture_dims(points, min_dim, max_dim, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0CEA);
+        let mut t = 0u64;
+        let requests = dims
+            .into_iter()
+            .enumerate()
+            .map(|(id, d)| {
+                t += poisson_gap_us(&mut rng, rate_hz);
+                Request {
+                    id,
+                    arrival_us: t,
+                    rows: d,
+                    cols: d,
+                    data_seed: seed.wrapping_add(17 + id as u64),
+                }
+            })
+            .collect();
+        Trace {
+            name: "assimilation".to_string(),
+            requests,
+        }
+    }
+
+    /// Offered load in requests per second (0 for traces shorter than two
+    /// requests).
+    pub fn offered_rate_hz(&self) -> f64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(first), Some(last)) if last.arrival_us > first.arrival_us => {
+                (self.requests.len() as f64 - 1.0)
+                    / ((last.arrival_us - first.arrival_us) as f64 / 1.0e6)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_replay_bit_identically_per_seed() {
+        let a = Trace::poisson(32, 2000.0, (8, 64), 7);
+        let b = Trace::poisson(32, 2000.0, (8, 64), 7);
+        assert_eq!(a.requests, b.requests);
+        let c = Trace::poisson(32, 2000.0, (8, 64), 8);
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_dims_in_range() {
+        for trace in [
+            Trace::poisson(40, 5000.0, (8, 64), 3),
+            Trace::bursty(40, 8, 20000.0, 50_000, (8, 64), 3),
+            Trace::assimilation(40, 8, 64, 5000.0, 3),
+        ] {
+            assert_eq!(trace.requests.len(), 40);
+            for w in trace.requests.windows(2) {
+                assert!(w[0].arrival_us <= w[1].arrival_us);
+            }
+            for r in &trace.requests {
+                assert!(r.rows >= 8 && r.rows <= 64, "{:?}", r);
+                assert_eq!(r.rows, r.cols);
+            }
+        }
+    }
+
+    #[test]
+    fn assimilation_trace_reuses_the_apps_mixture() {
+        let trace = Trace::assimilation(12, 10, 40, 1000.0, 3);
+        let dims = mixture_dims(12, 10, 40, 3);
+        let got: Vec<usize> = trace.requests.iter().map(|r| r.rows).collect();
+        assert_eq!(got, dims);
+    }
+
+    #[test]
+    fn bursty_trace_has_silence_gaps() {
+        let trace = Trace::bursty(16, 4, 50000.0, 100_000, (8, 16), 5);
+        // Between bursts the gap must dominate the in-burst spacing.
+        let gap = trace.requests[4].arrival_us - trace.requests[3].arrival_us;
+        assert!(gap >= 100_000, "inter-burst gap {gap}");
+        let tight = trace.requests[2].arrival_us - trace.requests[1].arrival_us;
+        assert!(tight < 10_000, "in-burst spacing {tight}");
+    }
+
+    #[test]
+    fn offered_rate_matches_the_span() {
+        let trace = Trace::poisson(100, 1000.0, (8, 16), 11);
+        let rate = trace.offered_rate_hz();
+        assert!(rate > 500.0 && rate < 2000.0, "rate {rate}");
+        assert_eq!(Trace::poisson(1, 1000.0, (8, 16), 1).offered_rate_hz(), 0.0);
+    }
+}

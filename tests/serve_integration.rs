@@ -1,0 +1,139 @@
+//! Serve-layer property tests (ISSUE 9 satellite):
+//! * every accepted request lands in exactly one dispatched bucket;
+//! * bucket shapes respect the Table VI caps (member dimensions within the
+//!   class cap, bucket size within the policy's effective cap);
+//! * per-request `queue_delay + service == end_to_end` holds *bitwise* in
+//!   simulated time;
+//! * identical seeds replay byte-identical latency histograms.
+
+use proptest::prelude::*;
+
+use wcycle_svd::gpu::{Gpu, V100};
+use wsvd_datasets::TABLE_VI;
+use wsvd_metrics::MetricsSink;
+use wsvd_serve::{serve_trace, BatchPolicy, ServeConfig, ServeOutcome, Trace};
+
+fn arb_policy() -> impl Strategy<Value = BatchPolicy> {
+    (0u64..5_000, 1usize..16).prop_map(|(max_wait_us, max_batch)| BatchPolicy {
+        max_wait_us,
+        max_batch,
+    })
+}
+
+fn run(trace: &Trace, policy: BatchPolicy) -> ServeOutcome {
+    let gpu = Gpu::new(V100);
+    let cfg = ServeConfig {
+        policy,
+        ..ServeConfig::default()
+    };
+    serve_trace(&gpu, trace, &cfg, &MetricsSink::disabled()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_accepted_request_lands_in_exactly_one_bucket(
+        seed in 0u64..1_000,
+        policy in arb_policy(),
+    ) {
+        let trace = Trace::poisson(18, 4_000.0, (6, 40), seed);
+        let out = run(&trace, policy);
+        // Nothing in this dimension range is rejectable.
+        prop_assert_eq!(out.rejected, 0);
+        prop_assert_eq!(out.records.len(), trace.requests.len());
+        // Partition: bucket sizes sum to the record count, and every trace
+        // id appears exactly once with a valid bucket back-reference.
+        let batched: usize = out.batches.iter().map(|b| b.len).sum();
+        prop_assert_eq!(batched, out.records.len());
+        let mut ids: Vec<usize> = out.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        let want: Vec<usize> = (0..trace.requests.len()).collect();
+        prop_assert_eq!(ids, want);
+        for r in &out.records {
+            prop_assert!(r.batch_id < out.batches.len());
+            prop_assert_eq!(out.batches[r.batch_id].class, r.class);
+        }
+    }
+
+    #[test]
+    fn bucket_shapes_respect_table_vi_caps(
+        seed in 0u64..1_000,
+        policy in arb_policy(),
+    ) {
+        let trace = Trace::bursty(18, 5, 20_000.0, 30_000, (6, 80), seed);
+        let out = run(&trace, policy);
+        for b in &out.batches {
+            prop_assert!(b.len <= policy.max_batch.clamp(1, TABLE_VI[b.class].batch),
+                "bucket of {} exceeds the policy cap", b.len);
+            let cap = TABLE_VI[b.class].cap;
+            for r in out.records.iter().filter(|r| r.batch_id == b.batch_id) {
+                prop_assert!(r.rows.max(r.cols) <= cap,
+                    "a {}x{} member in a class-{} (cap {cap}) bucket", r.rows, r.cols, b.class);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_plus_service_is_end_to_end_bitwise(
+        seed in 0u64..1_000,
+        policy in arb_policy(),
+    ) {
+        let trace = Trace::assimilation(15, 6, 40, 4_000.0, seed);
+        let out = run(&trace, policy);
+        for r in &out.records {
+            prop_assert_eq!(
+                (r.queue_delay_us + r.service_us).to_bits(),
+                r.end_to_end_us.to_bits()
+            );
+            prop_assert!(r.queue_delay_us >= 0.0);
+            prop_assert!(r.service_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_replay_byte_identical_histograms(
+        seed in 0u64..1_000,
+        policy in arb_policy(),
+    ) {
+        let serve = || {
+            let gpu = Gpu::new(V100);
+            let sink = MetricsSink::enabled();
+            sink.set_experiment("serve-prop");
+            let cfg = ServeConfig { policy, ..ServeConfig::default() };
+            let trace = Trace::poisson(15, 6_000.0, (6, 40), seed);
+            serve_trace(&gpu, &trace, &cfg, &sink).unwrap();
+            sink.snapshot().to_json()
+        };
+        prop_assert_eq!(serve(), serve());
+    }
+}
+
+#[test]
+fn recording_does_not_perturb_the_served_timeline() {
+    // The sink observes; it must never steer. A disabled-sink run and an
+    // enabled-sink run of the same trace serve bit-identical records.
+    let trace = Trace::poisson(15, 6_000.0, (6, 40), 77);
+    let quiet = {
+        let gpu = Gpu::new(V100);
+        serve_trace(
+            &gpu,
+            &trace,
+            &ServeConfig::default(),
+            &MetricsSink::disabled(),
+        )
+        .unwrap()
+    };
+    let recorded = {
+        let gpu = Gpu::new(V100);
+        let sink = MetricsSink::enabled();
+        sink.set_experiment("serve-prop");
+        serve_trace(&gpu, &trace, &ServeConfig::default(), &sink).unwrap()
+    };
+    assert_eq!(quiet.records.len(), recorded.records.len());
+    for (a, b) in quiet.records.iter().zip(&recorded.records) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.end_to_end_us.to_bits(), b.end_to_end_us.to_bits());
+    }
+    assert_eq!(quiet.makespan_us.to_bits(), recorded.makespan_us.to_bits());
+}
