@@ -16,6 +16,7 @@ pub mod exp_extensions;
 pub mod exp_health;
 pub mod exp_kernels;
 pub mod exp_serve;
+pub mod exp_tail;
 pub mod exp_tailoring;
 pub mod metrics_report;
 pub mod report;
@@ -63,5 +64,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ext-health", exp_health::ext_health),
         ("ext-cluster", exp_cluster::ext_cluster),
         ("ext-serve", exp_serve::ext_serve),
+        ("ext-tail", exp_tail::ext_tail),
     ]
 }

@@ -60,9 +60,26 @@ pub fn parse_key(key: &str) -> Option<(&str, &str, Option<usize>, &str)> {
     Some((experiment, kernel, level, name))
 }
 
+/// One retained histogram exemplar: the identity and value of the largest
+/// observation that landed in a bucket. The id is producer-chosen (the
+/// serve layer records its request id), so a tail bucket links directly to
+/// a replayable request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Producer-chosen identifier of the observation (e.g. a request id).
+    pub id: u64,
+    /// The observed value.
+    pub value: f64,
+}
+
 /// One fixed-bucket histogram: `counts[i]` holds observations
 /// `<= bounds[i]`, with one extra overflow bucket at the end.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived): the `exemplars` field is
+/// emitted only when non-empty and defaults to empty when absent, so
+/// snapshots recorded before exemplars existed parse unchanged and
+/// exemplar-free histograms serialize byte-identically to them.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Histogram {
     /// Upper bucket bounds, ascending. The bucket layout is fixed by the
     /// first observation of a key and never changes afterwards.
@@ -74,6 +91,46 @@ pub struct Histogram {
     pub total: u64,
     /// Sum of all observed values.
     pub sum: f64,
+    /// Per-bucket retained exemplars, parallel to `counts`. Empty unless an
+    /// identified observation ([`MetricsSink::observe_exemplar`]) has been
+    /// recorded; retention is deterministic (strictly larger value wins,
+    /// first observation wins ties), so identical runs carry byte-identical
+    /// exemplars. Skipped in JSON when empty, keeping pre-exemplar
+    /// snapshots parse- and byte-compatible.
+    pub exemplars: Vec<Option<Exemplar>>,
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = vec![
+            ("bounds".to_string(), self.bounds.to_value()),
+            ("counts".to_string(), self.counts.to_value()),
+            ("total".to_string(), self.total.to_value()),
+            ("sum".to_string(), self.sum.to_value()),
+        ];
+        if !self.exemplars.is_empty() {
+            m.push(("exemplars".to_string(), self.exemplars.to_value()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for Histogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::msg("expected JSON object for Histogram"))?;
+        Ok(Histogram {
+            bounds: Deserialize::from_value(serde::map_field(m, "bounds", "Histogram")?)?,
+            counts: Deserialize::from_value(serde::map_field(m, "counts", "Histogram")?)?,
+            total: Deserialize::from_value(serde::map_field(m, "total", "Histogram")?)?,
+            sum: Deserialize::from_value(serde::map_field(m, "sum", "Histogram")?)?,
+            exemplars: match m.iter().find(|(k, _)| k == "exemplars") {
+                Some((_, v)) => Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl Histogram {
@@ -83,18 +140,47 @@ impl Histogram {
             counts: vec![0; bounds.len() + 1],
             total: 0,
             sum: 0.0,
+            exemplars: Vec::new(),
         }
     }
 
-    fn observe(&mut self, value: f64) {
-        let idx = self
-            .bounds
+    /// Bucket index `value` falls into (the overflow bucket for values
+    /// above every bound).
+    fn bucket_index(&self, value: f64) -> usize {
+        self.bounds
             .iter()
             .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
+            .unwrap_or(self.bounds.len())
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.bucket_index(value);
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += value;
+    }
+
+    fn observe_exemplar(&mut self, value: f64, id: u64) {
+        let idx = self.bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        if self.exemplars.is_empty() {
+            self.exemplars = vec![None; self.counts.len()];
+        }
+        // Max-observation retention: a strictly larger value replaces the
+        // bucket's exemplar; ties keep the first observation, so retention
+        // is independent of everything but the observation order.
+        let slot = &mut self.exemplars[idx];
+        if slot.map(|e| value > e.value).unwrap_or(true) {
+            *slot = Some(Exemplar { id, value });
+        }
+    }
+
+    /// The retained exemplar of bucket `idx` (`None` when the bucket never
+    /// saw an identified observation, or `idx` is out of range).
+    pub fn exemplar(&self, idx: usize) -> Option<Exemplar> {
+        self.exemplars.get(idx).copied().flatten()
     }
 
     /// Mean of the observed values (0 when empty).
@@ -232,6 +318,30 @@ impl MetricsSink {
         }
     }
 
+    /// Like [`MetricsSink::observe`], additionally offering `(id, value)`
+    /// as the target bucket's exemplar: the bucket retains the largest
+    /// identified observation it has seen (ties keep the first), so a
+    /// histogram's tail bucket always names a concrete, replayable
+    /// observation. Counting is identical to `observe`.
+    pub fn observe_exemplar(
+        &self,
+        kernel: &str,
+        level: Option<usize>,
+        name: &str,
+        bounds: &[f64],
+        value: f64,
+        id: u64,
+    ) {
+        if let Some(m) = &self.inner {
+            let mut reg = m.lock().unwrap_or_else(|e| e.into_inner());
+            let key = metric_key(&reg.experiment, kernel, level, name);
+            reg.histograms
+                .entry(key)
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe_exemplar(value, id);
+        }
+    }
+
     /// Deterministic snapshot of the whole registry (empty when disabled).
     pub fn snapshot(&self) -> Snapshot {
         match &self.inner {
@@ -291,6 +401,11 @@ impl Snapshot {
                             .collect(),
                         total: h.total.saturating_sub(e.total),
                         sum: h.sum - e.sum,
+                        // Exemplars are max-retained, not additive: the
+                        // later snapshot's exemplar is the best known
+                        // representative of each bucket, so the delta
+                        // keeps it as-is.
+                        exemplars: h.exemplars.clone(),
                     },
                     _ => h.clone(),
                 };
@@ -392,7 +507,10 @@ impl Snapshot {
     /// samples), with `experiment`, `kernel` and `level` labels. Histograms
     /// follow the cumulative `_bucket`/`_sum`/`_count` convention. Label
     /// values escape backslash, double quote and line feed per the text
-    /// exposition format.
+    /// exposition format. A `_bucket` row whose bucket retains an exemplar
+    /// carries it in OpenMetrics exemplar syntax —
+    /// `… <count> # {request_id="<id>"} <value>` — linking the bucket to
+    /// the replayable observation behind its largest member.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -433,7 +551,16 @@ impl Snapshot {
                     Some(b) => fmt_prom(*b),
                     None => "+Inf".to_string(),
                 };
-                rows.push((format!("{lbl},le=\"{le}\"#bucket"), cumulative.to_string()));
+                let value = match h.exemplar(i) {
+                    Some(ex) => format!(
+                        "{} # {{request_id=\"{}\"}} {}",
+                        cumulative,
+                        ex.id,
+                        fmt_prom(ex.value)
+                    ),
+                    None => cumulative.to_string(),
+                };
+                rows.push((format!("{lbl},le=\"{le}\"#bucket"), value));
             }
             rows.push((format!("{lbl}#sum"), fmt_prom(h.sum)));
             rows.push((format!("{lbl}#count"), h.total.to_string()));
@@ -712,7 +839,14 @@ mod tests {
         s.counter_add("gemm", Some(1), "2nd_pass_flops", 100.0);
         s.gauge_set("gemm", None, "peak_flops", 7.0e12);
         s.observe("gemm", None, "occupancy", &[0.5, 1.0], 0.75);
+        // An identified observation: its bucket row must carry a
+        // well-formed OpenMetrics exemplar.
+        s.observe_exemplar("serve", None, "e2e_us", &[10.0, 100.0], 42.5, 7);
         let text = s.snapshot().to_prometheus();
+        assert!(
+            text.contains("# {request_id=\"7\"} 42.5"),
+            "exemplar missing from exposition: {text}"
+        );
 
         let mut helped: Vec<String> = Vec::new();
         let mut typed: Vec<String> = Vec::new();
@@ -734,7 +868,28 @@ mod tests {
                 assert!(!typed.contains(&name.to_string()), "duplicate TYPE: {line}");
                 typed.push(name.to_string());
             } else {
-                let (series, rest) = line.split_once('{').expect("sample has labels");
+                // An OpenMetrics exemplar rides after the sample value as
+                // ` # {request_id="<id>"} <value>`; split it off and check
+                // it separately so the base sample still parses strictly.
+                let (sample, exemplar) = match line.split_once(" # {") {
+                    Some((base, ex)) => (base, Some(ex)),
+                    None => (line, None),
+                };
+                if let Some(ex) = exemplar {
+                    let (ex_labels, ex_value) = ex.rsplit_once("} ").expect("exemplar has value");
+                    let names = parse_labels(ex_labels).unwrap_or_else(|e| {
+                        panic!("bad exemplar label block '{ex_labels}': {e}");
+                    });
+                    assert_eq!(names, vec!["request_id".to_string()], "{line}");
+                    ex_value.parse::<f64>().unwrap_or_else(|e| {
+                        panic!("unparseable exemplar value '{ex_value}': {e}");
+                    });
+                    assert!(
+                        sample.contains("_bucket{"),
+                        "exemplar outside a _bucket row: {line}"
+                    );
+                }
+                let (series, rest) = sample.split_once('{').expect("sample has labels");
                 assert!(valid_name(series), "bad series name in: {line}");
                 let family = typed.last().expect("samples follow their TYPE");
                 assert!(
@@ -765,6 +920,74 @@ mod tests {
             text.contains("wsvd_2nd_pass_flops"),
             "leading-digit component keeps the wsvd_ prefix: {text}"
         );
+    }
+
+    #[test]
+    fn exemplars_retain_the_max_observation_per_bucket() {
+        let s = MetricsSink::enabled();
+        s.set_experiment("e");
+        let bounds = [1.0, 10.0];
+        // Bucket 0: 0.5 then 0.9 (max wins), then a tie at 0.9 (first wins).
+        s.observe_exemplar("k", None, "lat", &bounds, 0.5, 1);
+        s.observe_exemplar("k", None, "lat", &bounds, 0.9, 2);
+        s.observe_exemplar("k", None, "lat", &bounds, 0.9, 3);
+        // Bucket 1 via the unidentified path: counted, no exemplar.
+        s.observe("k", None, "lat", &bounds, 5.0);
+        // Overflow bucket.
+        s.observe_exemplar("k", None, "lat", &bounds, 99.0, 4);
+        let snap = s.snapshot();
+        let h = snap.histogram("e", "k", None, "lat").unwrap();
+        assert_eq!(h.counts, vec![3, 1, 1]);
+        assert_eq!(h.total, 5);
+        assert_eq!(h.exemplar(0), Some(Exemplar { id: 2, value: 0.9 }));
+        assert_eq!(h.exemplar(1), None);
+        assert_eq!(h.exemplar(2), Some(Exemplar { id: 4, value: 99.0 }));
+        assert_eq!(h.exemplar(3), None, "out of range is None");
+    }
+
+    #[test]
+    fn exemplar_snapshots_are_deterministic_and_round_trip() {
+        let record = || {
+            let s = MetricsSink::enabled();
+            s.set_experiment("e");
+            for (i, v) in [3.0, 0.5, 42.0, 0.25].into_iter().enumerate() {
+                s.observe_exemplar("k", None, "lat", &[1.0, 10.0], v, i as u64);
+            }
+            s.snapshot()
+        };
+        let (a, b) = (record(), record());
+        assert_eq!(a.to_json(), b.to_json(), "exemplars must be byte-stable");
+        let parsed = Snapshot::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+        // A histogram without exemplars serializes without the field, so a
+        // pre-exemplar snapshot parses (and re-serializes) unchanged.
+        let s = MetricsSink::enabled();
+        s.set_experiment("e");
+        s.observe("k", None, "h", &[1.0], 0.5);
+        let json = s.snapshot().to_json();
+        assert!(!json.contains("exemplars"), "{json}");
+        let old = r#"{"counters":{},"gauges":{},"histograms":{"e/k/-/h":
+            {"bounds":[1.0],"counts":[1,0],"total":1,"sum":0.5}}}"#;
+        let parsed = Snapshot::from_json(old).unwrap();
+        assert_eq!(parsed.histogram("e", "k", None, "h").unwrap().total, 1);
+        assert!(parsed
+            .histogram("e", "k", None, "h")
+            .unwrap()
+            .exemplars
+            .is_empty());
+    }
+
+    #[test]
+    fn since_keeps_the_later_exemplars() {
+        let s = MetricsSink::enabled();
+        s.set_experiment("e");
+        s.observe_exemplar("k", None, "lat", &[1.0], 0.5, 1);
+        let first = s.snapshot();
+        s.observe_exemplar("k", None, "lat", &[1.0], 0.75, 2);
+        let d = s.snapshot().since(&first);
+        let h = d.histogram("e", "k", None, "lat").unwrap();
+        assert_eq!(h.total, 1, "counts subtract");
+        assert_eq!(h.exemplar(0), Some(Exemplar { id: 2, value: 0.75 }));
     }
 
     #[test]

@@ -10,20 +10,34 @@
 //!              [--max-wait-us U]     admission wait bound (default 20000)
 //!              [--max-batch B]       bucket size bound (default 64)
 //!              [--slo-p99-us X]      fail (exit non-zero) if p99 e2e > X
+//!              [--slo-e2e-us X]      per-request SLO scored by the
+//!                                    slo_violations counter (defaults to
+//!                                    --slo-p99-us, else 1e6)
+//!              [--why-slow K]        print the top-K slowest requests as
+//!                                    admission/backlog/service waterfalls
+//!                                    plus the p99-tail attribution
 //!              [--prom FILE]         write the Prometheus exposition
 //! ```
 //!
+//! The two SLO knobs are distinct: `--slo-p99-us` gates the *aggregate*
+//! p99 (the exit code), while `--slo-e2e-us` sets the *per-request* target
+//! each served request is scored against. When only `--slo-p99-us` is
+//! given it also serves as the per-request target, preserving the historic
+//! behavior.
+//!
 //! Everything runs on simulated time with seeded generators: the same
-//! command line prints byte-identical summaries on every run. CI's
-//! `Serve smoke` step runs this binary twice — once with an attainable SLO
-//! (must pass) and once with an impossible one (must exit non-zero).
+//! command line prints byte-identical summaries (and `--why-slow`
+//! waterfalls) on every run. CI's `Serve smoke` step runs this binary
+//! twice — once with an attainable SLO (must pass) and once with an
+//! impossible one (must exit non-zero) — and the `Tail smoke` step diffs
+//! two `--why-slow` runs byte-for-byte.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wsvd_gpu_sim::{Gpu, V100};
 use wsvd_metrics::MetricsSink;
-use wsvd_serve::{serve_trace, summarize, BatchPolicy, ServeConfig, Trace};
+use wsvd_serve::{serve_trace, summarize, tail_report, BatchPolicy, ServeConfig, Trace};
 
 struct Args {
     trace: String,
@@ -35,6 +49,8 @@ struct Args {
     max_wait_us: u64,
     max_batch: usize,
     slo_p99_us: Option<f64>,
+    slo_e2e_us: Option<f64>,
+    why_slow: usize,
     prom: Option<PathBuf>,
 }
 
@@ -50,6 +66,8 @@ impl Default for Args {
             max_wait_us: 20_000,
             max_batch: 64,
             slo_p99_us: None,
+            slo_e2e_us: None,
+            why_slow: 0,
             prom: None,
         }
     }
@@ -104,6 +122,18 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--slo-p99-us: {e}"))?,
                 )
             }
+            "--slo-e2e-us" => {
+                args.slo_e2e_us = Some(
+                    value("--slo-e2e-us")?
+                        .parse()
+                        .map_err(|e| format!("--slo-e2e-us: {e}"))?,
+                )
+            }
+            "--why-slow" => {
+                args.why_slow = value("--why-slow")?
+                    .parse()
+                    .map_err(|e| format!("--why-slow: {e}"))?
+            }
             "--prom" => args.prom = Some(PathBuf::from(value("--prom")?)),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -151,9 +181,11 @@ fn main() -> ExitCode {
         max_wait_us: args.max_wait_us,
         max_batch: args.max_batch,
     };
+    // The per-request SLO: its own knob when given, else the aggregate p99
+    // target (the historic conflation), else 1 s.
     let cfg = ServeConfig {
         policy,
-        slo_e2e_us: args.slo_p99_us.unwrap_or(1.0e6),
+        slo_e2e_us: args.slo_e2e_us.or(args.slo_p99_us).unwrap_or(1.0e6),
         fused: true,
     };
     let sink = MetricsSink::enabled();
@@ -175,7 +207,9 @@ fn main() -> ExitCode {
         let s = summarize(&sink.snapshot(), &format!("loadgen-{kind}"), &outcome);
         println!(
             "trace={kind} offered={:.1}r/s requests={} batches={} rejected={} \
-             p50={:.1}us p99={:.1}us mean_queue={:.1}us mean_service={:.1}us \
+             p50={:.1}us p99={:.1}us queue_p50={:.1}us queue_p99={:.1}us \
+             service_p50={:.1}us service_p99={:.1}us \
+             mean_queue={:.1}us mean_service={:.1}us \
              throughput={:.1}r/s slo_violations={}",
             trace.offered_rate_hz(),
             s.requests,
@@ -183,11 +217,18 @@ fn main() -> ExitCode {
             s.rejected,
             s.p50_e2e_us,
             s.p99_e2e_us,
+            s.p50_queue_us,
+            s.p99_queue_us,
+            s.p50_service_us,
+            s.p99_service_us,
             s.mean_queue_us,
             s.mean_service_us,
             s.throughput_rps,
             s.slo_violations,
         );
+        if args.why_slow > 0 {
+            print!("{}", tail_report(&outcome, args.why_slow).render());
+        }
         if let Some(slo) = args.slo_p99_us {
             if s.p99_e2e_us > slo {
                 eprintln!(

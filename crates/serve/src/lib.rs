@@ -17,26 +17,34 @@
 //! interleaves arrivals, deadlines and device completions on the simulated
 //! clock, so every trace replays bit-identically for a given seed.
 //!
-//! Latency accounting is definitional: for each request,
-//! `queue_delay = batch_start - arrival`, `service` is the simulated
+//! Latency accounting is definitional: for each request the wait decomposes
+//! into `admission_wait = trigger - arrival` (policy-induced) and
+//! `backlog = batch_start - trigger` (device-induced),
+//! `queue_delay = admission_wait + backlog`, `service` is the simulated
 //! duration of its bucket's batched SVD, and
-//! `end_to_end = queue_delay + service` — the integration suite asserts the
-//! identity at the bit level. Per-request latencies feed fixed-bucket
-//! histograms in the deterministic metrics registry (`wsvd-metrics`), from
-//! which p50/p99 are derived by rank-based quantiles and exposed, along
-//! with SLO violation counters, through the existing Prometheus exposition.
+//! `end_to_end = queue_delay + service` — the integration suite asserts
+//! both identities at the bit level. Per-request latencies feed
+//! fixed-bucket histograms in the deterministic metrics registry
+//! (`wsvd-metrics`) with the request id retained as each bucket's exemplar,
+//! from which p50/p99 are derived by rank-based quantiles and exposed,
+//! along with SLO violation counters, through the existing Prometheus
+//! exposition (OpenMetrics exemplars included). The [`tail`] module is the
+//! attribution consumer: `tail_report` ranks the slowest requests and pins
+//! which waterfall component dominates the p99 tail.
 //!
 //! The `wsvd-loadgen` binary (`src/bin/loadgen.rs`) is the operator's view:
 //! it generates traces, runs the server, prints per-trace latency and
-//! throughput summaries, and exits non-zero when a `--slo-p99-us` target is
-//! violated — CI's `Serve smoke` step. The `ext-serve` experiment in
-//! `wsvd-bench` commits the batching-policy tradeoff curve (wait longer →
-//! bigger buckets → higher throughput, worse p99) as a diffable artifact.
+//! throughput summaries (with `--why-slow K`, the per-request tail
+//! waterfall), and exits non-zero when a `--slo-p99-us` target is
+//! violated — CI's `Serve smoke` step. The `ext-serve` and `ext-tail`
+//! experiments in `wsvd-bench` commit the batching-policy tradeoff curve
+//! and its tail attribution as diffable artifacts.
 
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod server;
+pub mod tail;
 pub mod traffic;
 
 pub use batcher::{Admission, Admit, BatchPolicy, Pending};
@@ -44,4 +52,5 @@ pub use server::{
     latency_bounds, serve_trace, summarize, BatchRecord, BatchTrigger, RequestRecord, ServeConfig,
     ServeOutcome, ServeSummary,
 };
+pub use tail::{tail_report, Component, TailAttribution, TailReport};
 pub use traffic::{Request, Trace};

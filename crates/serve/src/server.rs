@@ -10,15 +10,30 @@
 //! FIFO in trigger order, so a bucket triggered while the device is busy
 //! starts at `free_at`.
 //!
-//! Latency accounting (DESIGN.md §14): per request,
-//! `queue_delay = batch_start − arrival` (admission wait plus any device
-//! backlog), `service` = the simulated duration of its bucket's batched
-//! SVD, and `end_to_end = queue_delay + service` *by definition* — the
-//! property suite asserts the identity bitwise. All three feed fixed-bucket
-//! log-spaced histograms ([`latency_bounds`]) in the metrics registry, and
+//! Latency accounting (DESIGN.md §14–15): per request the wait decomposes
+//! into the policy-induced and the device-induced share,
+//! `admission_wait = bucket_trigger − arrival` (how long the admission
+//! policy held the request for batch-mates) and
+//! `backlog = batch_start − bucket_trigger` (how long the dispatched bucket
+//! sat behind earlier buckets on the FIFO device); `queue_delay` is
+//! *defined* as their sum, `service` is the simulated duration of the
+//! bucket's batched SVD, and `end_to_end = queue_delay + service` — the
+//! property suite asserts both identities bitwise. All five feed
+//! fixed-bucket log-spaced histograms ([`latency_bounds`]) in the metrics
+//! registry (with the request id as each bucket's retained exemplar), and
 //! p50/p99 come from [`wsvd_metrics::Histogram::quantile`] — rank-based and
 //! exact at bucket resolution, so repeated seeded runs report identical
 //! quantiles.
+//!
+//! With an enabled trace sink (threaded through the [`Gpu`], installed
+//! globally by `repro --trace`), a served trace additionally exports as a
+//! request waterfall: one span per request lifetime (arrival→completion) on
+//! a per-size-class track, one span per dispatched bucket on the serving
+//! process's `device` track, and a mirror `bucket` span on the GPU's
+//! `wcycle` track that encloses — and therefore parents, in Perfetto's
+//! nesting — the existing per-level W-cycle spans of that bucket's batched
+//! SVD. The sink only observes: a disabled (or enabled) sink never touches
+//! the simulated timeline.
 
 use wsvd_core::{wcycle_svd, WCycleConfig};
 use wsvd_gpu_sim::{Gpu, KernelError};
@@ -99,7 +114,19 @@ pub struct RequestRecord {
     pub batch_id: usize,
     /// Arrival time in simulated microseconds.
     pub arrival_us: u64,
-    /// Admission wait plus device backlog: `batch start − arrival`.
+    /// Simulated microseconds the serving bucket's dispatch trigger fired
+    /// at (copied from its [`BatchRecord::trigger_us`]).
+    pub trigger_us: u64,
+    /// Policy-induced wait: `trigger − arrival`, the time the admission
+    /// policy held this request open for batch-mates. Exact (an integer
+    /// microsecond difference).
+    pub admission_wait_us: f64,
+    /// Device-induced wait: `batch start − trigger`, the time the
+    /// dispatched bucket sat behind earlier buckets on the FIFO device
+    /// (0 when the device was idle at the trigger).
+    pub backlog_us: f64,
+    /// `admission_wait_us + backlog_us`, definitionally — the bitwise
+    /// identity the property suite pins.
     pub queue_delay_us: f64,
     /// Simulated duration of the bucket's batched SVD.
     pub service_us: f64,
@@ -159,6 +186,18 @@ pub fn serve_trace(
     let mut out = ServeOutcome::default();
     let mut free_at_us = 0.0f64;
     let mut next = 0usize;
+    // One shared bucket layout for every latency histogram of this run —
+    // computed once here, not per served request.
+    let bounds = latency_bounds();
+    // Request-scoped tracing rides the GPU's sink (disabled unless the host
+    // installed one): the serving process gets its own trace pid with
+    // per-size-class request tracks plus a `device` bucket track.
+    let tracer = gpu.trace();
+    let serve_pid = if tracer.is_enabled() {
+        tracer.register_process(&format!("wsvd-serve [{}]", trace.name))
+    } else {
+        0
+    };
 
     // One batched SVD per bucket; the device serves buckets FIFO in
     // trigger order.
@@ -178,10 +217,50 @@ pub fn serve_trace(
         let start_us = (trigger_us as f64).max(*free_at_us);
         let before = gpu.elapsed_seconds();
         wcycle_svd(gpu, &mats, &wcfg)?;
-        let service_us = (gpu.elapsed_seconds() - before) * 1.0e6;
+        let after = gpu.elapsed_seconds();
+        let service_us = (after - before) * 1.0e6;
         *free_at_us = start_us + service_us;
         out.busy_us += service_us;
         let batch_id = out.batches.len();
+        if tracer.is_enabled() {
+            let trig = match trigger {
+                BatchTrigger::Full => "full",
+                BatchTrigger::Deadline => "deadline",
+            };
+            // The serving timeline's view of the bucket: dispatched at
+            // `start` (trigger plus any device backlog), busy for the
+            // batched SVD's duration.
+            tracer.span(
+                serve_pid,
+                "device",
+                &format!("bucket {batch_id}"),
+                start_us * 1.0e-6,
+                service_us * 1.0e-6,
+                vec![
+                    ("class", class.into()),
+                    ("requests", members.len().into()),
+                    ("trigger", trig.into()),
+                    ("trigger_us", trigger_us.into()),
+                ],
+            );
+            // The same bucket on the GPU's own (busy-time) clock: the span
+            // covers exactly the interval the bucket's batched W-cycle ran
+            // in, so the per-level `wcycle` spans emitted inside it nest
+            // under it in the exported Perfetto timeline.
+            tracer.span(
+                gpu.trace_pid(),
+                "wcycle",
+                &format!("bucket {batch_id}"),
+                before,
+                after - before,
+                vec![
+                    ("class", class.into()),
+                    ("requests", members.len().into()),
+                    ("trigger", trig.into()),
+                    ("start_us", start_us.into()),
+                ],
+            );
+        }
         out.batches.push(BatchRecord {
             batch_id,
             class,
@@ -192,20 +271,46 @@ pub fn serve_trace(
             service_us,
         });
         for p in members {
-            let queue_delay_us = start_us - p.arrival_us as f64;
+            // The waterfall decomposition (both identities bitwise by
+            // construction): the policy held the request from arrival to
+            // trigger, the device backlog from trigger to start.
+            let admission_wait_us = (trigger_us - p.arrival_us) as f64;
+            let backlog_us = start_us - trigger_us as f64;
+            let queue_delay_us = admission_wait_us + backlog_us;
             let end_to_end_us = queue_delay_us + service_us;
-            record_request(sink, class, queue_delay_us, service_us, end_to_end_us, cfg);
-            out.records.push(RequestRecord {
+            let rec = RequestRecord {
                 id: p.id,
                 rows: p.rows,
                 cols: p.cols,
                 class,
                 batch_id,
                 arrival_us: p.arrival_us,
+                trigger_us,
+                admission_wait_us,
+                backlog_us,
                 queue_delay_us,
                 service_us,
                 end_to_end_us,
-            });
+            };
+            record_request(sink, &bounds, &rec, cfg);
+            if tracer.is_enabled() {
+                tracer.span(
+                    serve_pid,
+                    &format!("class {class}"),
+                    &format!("req {}", p.id),
+                    p.arrival_us as f64 * 1.0e-6,
+                    end_to_end_us * 1.0e-6,
+                    vec![
+                        ("rows", p.rows.into()),
+                        ("cols", p.cols.into()),
+                        ("bucket", batch_id.into()),
+                        ("admission_wait_us", admission_wait_us.into()),
+                        ("backlog_us", backlog_us.into()),
+                        ("service_us", service_us.into()),
+                    ],
+                );
+            }
+            out.records.push(rec);
         }
         Ok(())
     };
@@ -275,23 +380,36 @@ pub fn serve_trace(
 
 /// Records one served request into the registry (kernel `serve`, level =
 /// size class for the per-class counters, aggregate histograms unleveled).
-fn record_request(
-    sink: &MetricsSink,
-    class: usize,
-    queue_delay_us: f64,
-    service_us: f64,
-    end_to_end_us: f64,
-    cfg: &ServeConfig,
-) {
+/// Every latency histogram retains the request id of each bucket's max
+/// observation as its exemplar, so a tail bucket links back to a replayable
+/// request. `bounds` is the run-wide [`latency_bounds`] layout, computed
+/// once by [`serve_trace`].
+fn record_request(sink: &MetricsSink, bounds: &[f64], r: &RequestRecord, cfg: &ServeConfig) {
     if !sink.is_enabled() {
         return;
     }
-    let bounds = latency_bounds();
-    sink.observe("serve", None, "queue_delay_us", &bounds, queue_delay_us);
-    sink.observe("serve", None, "service_us", &bounds, service_us);
-    sink.observe("serve", None, "e2e_us", &bounds, end_to_end_us);
-    sink.counter_add("serve", Some(class), "requests", 1.0);
-    if end_to_end_us > cfg.slo_e2e_us {
+    let id = r.id as u64;
+    sink.observe_exemplar(
+        "serve",
+        None,
+        "queue_delay_us",
+        bounds,
+        r.queue_delay_us,
+        id,
+    );
+    sink.observe_exemplar("serve", None, "service_us", bounds, r.service_us, id);
+    sink.observe_exemplar("serve", None, "e2e_us", bounds, r.end_to_end_us, id);
+    sink.observe_exemplar(
+        "serve",
+        None,
+        "admission_wait_us",
+        bounds,
+        r.admission_wait_us,
+        id,
+    );
+    sink.observe_exemplar("serve", None, "backlog_us", bounds, r.backlog_us, id);
+    sink.counter_add("serve", Some(r.class), "requests", 1.0);
+    if r.end_to_end_us > cfg.slo_e2e_us {
         sink.counter_add("serve", None, "slo_violations", 1.0);
     }
 }
@@ -313,10 +431,24 @@ pub struct ServeSummary {
     pub p50_e2e_us: f64,
     /// 99th-percentile end-to-end latency (µs, bucket-bound resolution).
     pub p99_e2e_us: f64,
+    /// Median admission + backlog wait (µs, bucket-bound resolution).
+    pub p50_queue_us: f64,
+    /// 99th-percentile admission + backlog wait (µs, bucket-bound
+    /// resolution).
+    pub p99_queue_us: f64,
+    /// Median batched-SVD service time (µs, bucket-bound resolution).
+    pub p50_service_us: f64,
+    /// 99th-percentile batched-SVD service time (µs, bucket-bound
+    /// resolution).
+    pub p99_service_us: f64,
     /// Mean admission + backlog wait (µs).
     pub mean_queue_us: f64,
     /// Mean batched-SVD service time (µs).
     pub mean_service_us: f64,
+    /// Mean policy-induced wait (µs): `trigger − arrival`.
+    pub mean_admission_us: f64,
+    /// Mean device-induced wait (µs): `batch start − trigger`.
+    pub mean_backlog_us: f64,
     /// Sustained throughput: served requests divided by total device busy
     /// time (requests/second). This is the device-limited rate the policy
     /// sustains at saturation — unlike `requests / makespan`, it is not
@@ -333,6 +465,8 @@ pub fn summarize(snapshot: &Snapshot, experiment: &str, outcome: &ServeOutcome) 
     let e2e = snapshot.histogram(experiment, "serve", None, "e2e_us");
     let queue = snapshot.histogram(experiment, "serve", None, "queue_delay_us");
     let service = snapshot.histogram(experiment, "serve", None, "service_us");
+    let admission = snapshot.histogram(experiment, "serve", None, "admission_wait_us");
+    let backlog = snapshot.histogram(experiment, "serve", None, "backlog_us");
     let requests = outcome.records.len() as u64;
     let throughput_rps = if outcome.busy_us > 0.0 {
         requests as f64 / (outcome.busy_us / 1.0e6)
@@ -345,8 +479,14 @@ pub fn summarize(snapshot: &Snapshot, experiment: &str, outcome: &ServeOutcome) 
         rejected: outcome.rejected as u64,
         p50_e2e_us: e2e.and_then(|h| h.quantile(0.5)).unwrap_or(0.0),
         p99_e2e_us: e2e.and_then(|h| h.quantile(0.99)).unwrap_or(0.0),
+        p50_queue_us: queue.and_then(|h| h.quantile(0.5)).unwrap_or(0.0),
+        p99_queue_us: queue.and_then(|h| h.quantile(0.99)).unwrap_or(0.0),
+        p50_service_us: service.and_then(|h| h.quantile(0.5)).unwrap_or(0.0),
+        p99_service_us: service.and_then(|h| h.quantile(0.99)).unwrap_or(0.0),
         mean_queue_us: queue.map(|h| h.mean()).unwrap_or(0.0),
         mean_service_us: service.map(|h| h.mean()).unwrap_or(0.0),
+        mean_admission_us: admission.map(|h| h.mean()).unwrap_or(0.0),
+        mean_backlog_us: backlog.map(|h| h.mean()).unwrap_or(0.0),
         throughput_rps,
         slo_violations: snapshot.counter(experiment, "serve", None, "slo_violations") as u64,
     }
@@ -388,7 +528,16 @@ mod tests {
                 (r.queue_delay_us + r.service_us).to_bits(),
                 r.end_to_end_us.to_bits()
             );
-            assert!(r.queue_delay_us >= 0.0, "negative queue delay: {r:?}");
+            assert_eq!(
+                (r.admission_wait_us + r.backlog_us).to_bits(),
+                r.queue_delay_us.to_bits()
+            );
+            assert!(r.admission_wait_us >= 0.0, "negative admission: {r:?}");
+            assert!(r.backlog_us >= 0.0, "negative backlog: {r:?}");
+            assert!(
+                r.trigger_us >= r.arrival_us,
+                "trigger before arrival: {r:?}"
+            );
         }
     }
 
@@ -421,7 +570,20 @@ mod tests {
         assert_eq!(summary.slo_violations, summary.requests);
         assert!(summary.p50_e2e_us > 0.0);
         assert!(summary.p99_e2e_us >= summary.p50_e2e_us);
+        assert!(summary.p99_queue_us >= summary.p50_queue_us);
+        assert!(summary.p50_service_us > 0.0);
+        assert!(summary.p99_service_us >= summary.p50_service_us);
         assert!(summary.throughput_rps > 0.0);
+        // The mean of the decomposed waits reconstructs the mean queue
+        // delay (up to summation rounding in the histogram means).
+        let recomposed = summary.mean_admission_us + summary.mean_backlog_us;
+        assert!(
+            (recomposed - summary.mean_queue_us).abs() <= 1.0e-9 * summary.mean_queue_us.max(1.0),
+            "admission {} + backlog {} != queue {}",
+            summary.mean_admission_us,
+            summary.mean_backlog_us,
+            summary.mean_queue_us
+        );
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! Serve-layer property tests (ISSUE 9 satellite):
+//! Serve-layer property tests (ISSUE 9 satellite, extended by ISSUE 10):
 //! * every accepted request lands in exactly one dispatched bucket;
 //! * bucket shapes respect the Table VI caps (member dimensions within the
 //!   class cap, bucket size within the policy's effective cap);
-//! * per-request `queue_delay + service == end_to_end` holds *bitwise* in
-//!   simulated time;
-//! * identical seeds replay byte-identical latency histograms.
+//! * per-request `queue_delay + service == end_to_end` *and*
+//!   `admission_wait + backlog == queue_delay` hold *bitwise* in simulated
+//!   time;
+//! * identical seeds replay byte-identical latency histograms and
+//!   exemplars;
+//! * every request record has exactly one request span whose duration is
+//!   its end-to-end latency, and an enabled trace sink never perturbs the
+//!   served timeline.
 
 use proptest::prelude::*;
 
 use wcycle_svd::gpu::{Gpu, V100};
 use wsvd_datasets::TABLE_VI;
 use wsvd_metrics::MetricsSink;
-use wsvd_serve::{serve_trace, BatchPolicy, ServeConfig, ServeOutcome, Trace};
+use wsvd_serve::{serve_trace, tail_report, BatchPolicy, ServeConfig, ServeOutcome, Trace};
+use wsvd_trace::{EventKind, TraceSink};
 
 fn arb_policy() -> impl Strategy<Value = BatchPolicy> {
     (0u64..5_000, 1usize..16).prop_map(|(max_wait_us, max_batch)| BatchPolicy {
@@ -92,6 +98,28 @@ proptest! {
     }
 
     #[test]
+    fn admission_plus_backlog_is_queue_delay_bitwise(
+        seed in 0u64..1_000,
+        policy in arb_policy(),
+    ) {
+        let trace = Trace::bursty(16, 4, 24_000.0, 20_000, (6, 40), seed);
+        let out = run(&trace, policy);
+        for r in &out.records {
+            prop_assert_eq!(
+                (r.admission_wait_us + r.backlog_us).to_bits(),
+                r.queue_delay_us.to_bits()
+            );
+            prop_assert!(r.admission_wait_us >= 0.0);
+            prop_assert!(r.backlog_us >= 0.0);
+            prop_assert!(r.trigger_us >= r.arrival_us);
+            // The policy never holds a request past its wait bound.
+            prop_assert!(r.admission_wait_us <= policy.max_wait_us as f64);
+        }
+        // The tail report over these records is deterministic text.
+        prop_assert_eq!(tail_report(&out, 3).render(), tail_report(&out, 3).render());
+    }
+
+    #[test]
     fn identical_seeds_replay_byte_identical_histograms(
         seed in 0u64..1_000,
         policy in arb_policy(),
@@ -136,4 +164,134 @@ fn recording_does_not_perturb_the_served_timeline() {
         assert_eq!(a.end_to_end_us.to_bits(), b.end_to_end_us.to_bits());
     }
     assert_eq!(quiet.makespan_us.to_bits(), recorded.makespan_us.to_bits());
+}
+
+#[test]
+fn exemplars_replay_byte_identical_and_reach_the_exposition() {
+    // Identical seeds must reproduce identical exemplars — down to the
+    // Prometheus exposition bytes — and the serve histograms must carry
+    // request-id exemplars on their tail buckets.
+    let serve = || {
+        let gpu = Gpu::new(V100);
+        let sink = MetricsSink::enabled();
+        sink.set_experiment("serve-exemplar");
+        let trace = Trace::poisson(15, 6_000.0, (6, 40), 99);
+        serve_trace(&gpu, &trace, &ServeConfig::default(), &sink).unwrap();
+        sink.snapshot().to_prometheus()
+    };
+    let a = serve();
+    assert_eq!(a, serve());
+    assert!(
+        a.contains("# {request_id=\""),
+        "no OpenMetrics exemplars in the serve exposition"
+    );
+}
+
+#[test]
+fn every_record_has_exactly_one_request_span_of_its_end_to_end_duration() {
+    // Dimensions up to 96 so at least some buckets decompose multilevel
+    // and emit per-level W-cycle spans for the bucket spans to parent.
+    let trace = Trace::bursty(15, 4, 24_000.0, 20_000, (24, 96), 101);
+    let sink = TraceSink::enabled();
+    let gpu = Gpu::with_trace(V100, sink.clone());
+    let out = serve_trace(
+        &gpu,
+        &trace,
+        &ServeConfig::default(),
+        &MetricsSink::disabled(),
+    )
+    .unwrap();
+    let events = sink.events();
+    for r in &out.records {
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.name == format!("req {}", r.id) && e.track == format!("class {}", r.class)
+            })
+            .collect();
+        assert_eq!(spans.len(), 1, "request {} has {} spans", r.id, spans.len());
+        let EventKind::Span { start, dur } = spans[0].kind else {
+            panic!("request {} event is not a span", r.id);
+        };
+        assert_eq!(start.to_bits(), (r.arrival_us as f64 * 1.0e-6).to_bits());
+        assert_eq!(dur.to_bits(), (r.end_to_end_us * 1.0e-6).to_bits());
+    }
+    // Every dispatched bucket appears twice: once on the serving process's
+    // `device` track and once on the GPU's `wcycle` track.
+    let mut bucket_bounds = Vec::new();
+    for b in &out.batches {
+        let name = format!("bucket {}", b.batch_id);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == name && e.track == "device")
+                .count(),
+            1
+        );
+        let on_gpu: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == name && e.track == "wcycle" && e.pid == gpu.trace_pid())
+            .collect();
+        assert_eq!(on_gpu.len(), 1);
+        let EventKind::Span { start, dur } = on_gpu[0].kind else {
+            panic!("bucket {} event is not a span", b.batch_id);
+        };
+        bucket_bounds.push((start, start + dur));
+    }
+    // Every per-level W-cycle span nests inside exactly one bucket span —
+    // the parenting Perfetto renders — and multilevel work exists at these
+    // dimensions, so the property is not vacuous.
+    let levels: Vec<_> = events
+        .iter()
+        .filter(|e| e.track == "wcycle" && e.pid == gpu.trace_pid() && e.name.starts_with("level "))
+        .collect();
+    assert!(
+        !levels.is_empty(),
+        "no per-level W-cycle spans were emitted"
+    );
+    for lv in levels {
+        let EventKind::Span { start, dur } = lv.kind else {
+            panic!("level event is not a span");
+        };
+        let parents = bucket_bounds
+            .iter()
+            .filter(|(lo, hi)| start >= *lo && start + dur <= hi + 1.0e-12)
+            .count();
+        assert_eq!(parents, 1, "a level span nests in {parents} bucket spans");
+    }
+}
+
+#[test]
+fn an_enabled_trace_sink_does_not_perturb_the_served_timeline() {
+    // Mirror of the metrics no-op property for the trace sink: tracing a
+    // served run must replay bit-identical records and makespan.
+    let trace = Trace::poisson(15, 6_000.0, (6, 40), 103);
+    let quiet = {
+        let gpu = Gpu::new(V100);
+        serve_trace(
+            &gpu,
+            &trace,
+            &ServeConfig::default(),
+            &MetricsSink::disabled(),
+        )
+        .unwrap()
+    };
+    let traced = {
+        let gpu = Gpu::with_trace(V100, TraceSink::enabled());
+        serve_trace(
+            &gpu,
+            &trace,
+            &ServeConfig::default(),
+            &MetricsSink::disabled(),
+        )
+        .unwrap()
+    };
+    assert_eq!(quiet.records.len(), traced.records.len());
+    for (a, b) in quiet.records.iter().zip(&traced.records) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.admission_wait_us.to_bits(), b.admission_wait_us.to_bits());
+        assert_eq!(a.backlog_us.to_bits(), b.backlog_us.to_bits());
+        assert_eq!(a.end_to_end_us.to_bits(), b.end_to_end_us.to_bits());
+    }
+    assert_eq!(quiet.makespan_us.to_bits(), traced.makespan_us.to_bits());
 }
